@@ -1,0 +1,77 @@
+//! Criterion benches over the figure pipelines (reduced scale): regression
+//! guards on the cost of each experiment, one bench per paper figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use readdisturb::core::characterize::{
+    fig10_rdr, fig2_vth_histograms, fig3_rber_vs_reads, fig4_vpass_read_tolerance,
+    fig5_passthrough_sweep, fig6_retention_staircase, fig7_refresh_intervals, Scale,
+};
+use readdisturb::core::lifetime::{EnduranceConfig, EnduranceEvaluator, Mitigation};
+use readdisturb::dram::{HammerExperiment, ModulePopulation};
+use readdisturb::prelude::*;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig02_vth_histograms", |b| {
+        b.iter(|| fig2_vth_histograms(Scale::quick(), 1).unwrap())
+    });
+    group.bench_function("fig03_rber_vs_reads", |b| {
+        b.iter(|| fig3_rber_vs_reads(Scale::quick(), 1).unwrap())
+    });
+    group.bench_function("fig04_vpass_read_tolerance", |b| {
+        b.iter(|| fig4_vpass_read_tolerance(Scale::quick(), 1).unwrap())
+    });
+    group.bench_function("fig05_passthrough_sweep", |b| {
+        b.iter(|| fig5_passthrough_sweep(Scale::quick(), 1).unwrap())
+    });
+    group.bench_function("fig06_retention_staircase", |b| {
+        b.iter(|| fig6_retention_staircase(64))
+    });
+    group.bench_function("fig07_refresh_intervals", |b| {
+        b.iter(|| fig7_refresh_intervals(8_000, 40_000.0, 64))
+    });
+    group.bench_function("fig08_endurance_one_workload", |b| {
+        let evaluator = EnduranceEvaluator::new(EnduranceConfig::default());
+        let profile = WorkloadProfile::by_name("umass-web").unwrap();
+        b.iter(|| {
+            (
+                evaluator.endurance(&profile, Mitigation::Baseline),
+                evaluator.endurance(&profile, Mitigation::VpassTuning),
+            )
+        })
+    });
+    group.bench_function("fig10_rdr_one_point", |b| {
+        b.iter(|| {
+            // One grid point at quick scale (full grid in the fig10 binary).
+            let rdr = Rdr::new(RdrConfig { extra_disturbs: 20_000, ..RdrConfig::default() });
+            let mut chip = Chip::new(
+                Geometry { blocks: 1, wordlines_per_block: 16, bitlines: 1024 },
+                ChipParams::default(),
+                3,
+            );
+            chip.cycle_block(0, 8_000).unwrap();
+            chip.program_block_random(0, 3).unwrap();
+            chip.apply_read_disturbs(0, 200_000).unwrap();
+            rdr.recover_block(&mut chip, 0).unwrap()
+        })
+    });
+    group.bench_function("fig11_population", |b| {
+        b.iter(|| ModulePopulation::paper_129(1).vulnerable_count())
+    });
+    group.bench_function("fig12_hammer", |b| {
+        let population = ModulePopulation::paper_129(1);
+        let module = population.fig12_representatives()[0].clone();
+        b.iter(|| HammerExperiment::run(&module, 8_192, 1))
+    });
+    group.finish();
+
+    // Smoke-check fig10 at quick scale once (not timed) so the bench run
+    // also validates the pipeline end to end.
+    let data = fig10_rdr(Scale::quick(), 5).unwrap();
+    assert_eq!(data.points.len(), 6);
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion benches on the substrate hot paths: chip operations, the
+//! disturb closed form, BCH coding, and the analytic model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use readdisturb::ecc::BchCode;
+use readdisturb::flash::noise::read_disturb;
+use readdisturb::prelude::*;
+
+fn bench_flash_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flash");
+    group.sample_size(20);
+
+    group.bench_function("program_page_2kbit", |b| {
+        let mut chip = Chip::new(Geometry::small(), ChipParams::default(), 1);
+        let data = vec![0xA5u8; Geometry::small().bits_per_page() / 8];
+        b.iter(|| {
+            chip.erase_block(0).unwrap();
+            chip.program_page(0, 0, &data).unwrap();
+        })
+    });
+
+    group.bench_function("read_page_2kbit", |b| {
+        let mut chip = Chip::new(Geometry::small(), ChipParams::default(), 1);
+        chip.program_block_random(0, 1).unwrap();
+        b.iter(|| chip.read_page(0, 3).unwrap())
+    });
+
+    group.bench_function("block_rber_oracle_256k_cells", |b| {
+        let mut chip = Chip::new(Geometry::characterization(), ChipParams::default(), 1);
+        chip.cycle_block(0, 8_000).unwrap();
+        chip.program_block_random(0, 1).unwrap();
+        chip.apply_read_disturbs(0, 100_000).unwrap();
+        b.iter(|| chip.block_rber(0).unwrap())
+    });
+
+    group.bench_function("disturbed_vth_closed_form", |b| {
+        let p = ChipParams::default();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                acc += read_disturb::disturbed_vth(&p, 40.0 + (i % 400) as f64, 2.0, 1e6);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("batch_1m_read_disturbs", |b| {
+        let mut chip = Chip::new(Geometry::small(), ChipParams::default(), 1);
+        chip.program_block_random(0, 1).unwrap();
+        b.iter(|| chip.apply_read_disturbs(0, 1_000_000).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_ecc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc");
+    group.sample_size(10);
+
+    let code = BchCode::new_shortened(13, 16, 4096).unwrap();
+    let data = vec![0x3Cu8; code.data_bits() / 8];
+    let clean = code.encode(&data).unwrap();
+
+    group.bench_function("bch_encode_4kbit_t16", |b| b.iter(|| code.encode(&data).unwrap()));
+
+    group.bench_function("bch_decode_clean", |b| b.iter(|| code.decode(&clean).unwrap()));
+
+    group.bench_function("bch_decode_8_errors", |b| {
+        let mut corrupted = clean.clone();
+        for i in 0..8 {
+            let p = i * 509;
+            corrupted[p / 8] ^= 1 << (p % 8);
+        }
+        b.iter(|| code.decode(&corrupted).unwrap())
+    });
+
+    group.bench_function("threshold_operating_rber", |b| {
+        let model = ThresholdEcc::flash_default();
+        b.iter(|| model.operating_rber(1e-15))
+    });
+    group.finish();
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytic");
+    let model = AnalyticModel::from_chip(&ChipParams::default(), 64);
+    group.bench_function("rber_breakdown", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for pe in (1_000..16_000).step_by(500) {
+                acc += model.rber(pe, 7.0, 100_000, 500.0);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flash_ops, bench_ecc, bench_analytic);
+criterion_main!(benches);

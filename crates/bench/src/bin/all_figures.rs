@@ -1,0 +1,48 @@
+//! Runs every figure binary's pipeline in sequence, regenerating the full
+//! `target/figures/` directory. Equivalent to running `fig01`..`fig12` and
+//! `overheads` individually.
+
+use std::process::Command;
+
+fn main() {
+    let figures = [
+        "fig01_states",
+        "fig02a",
+        "fig02b",
+        "fig03",
+        "fig04",
+        "fig05",
+        "fig06",
+        "fig07",
+        "fig08",
+        "fig09_rdr_illustration",
+        "fig10",
+        "fig11",
+        "fig12",
+        "overheads",
+        "ext_concentrated",
+        "ext_partial_block",
+        "ext_recovery",
+        "ext_slc_mode",
+        "ablations",
+    ];
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for fig in figures {
+        println!("\n================= {fig} =================");
+        let status = Command::new(dir.join(fig)).status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                println!("!! {fig} failed: {other:?}");
+                failures.push(fig);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall figures regenerated under target/figures/");
+    } else {
+        panic!("figures failed: {failures:?}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Shared plumbing for the figure-regeneration binaries: CSV emission to
+//! `target/figures/` and stdout.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Writes `rows` (already comma-joined) under a header to
+/// `target/figures/<name>.csv` and echoes the first rows to stdout.
+///
+/// # Panics
+///
+/// Panics on I/O failure (these are experiment binaries).
+pub fn emit_csv(name: &str, header: &str, rows: &[String]) {
+    let dir = PathBuf::from("target/figures");
+    fs::create_dir_all(&dir).expect("create target/figures");
+    let path = dir.join(format!("{name}.csv"));
+    let mut file = fs::File::create(&path).expect("create csv");
+    writeln!(file, "{header}").expect("write header");
+    for row in rows {
+        writeln!(file, "{row}").expect("write row");
+    }
+    println!("# {name}: {} rows -> {}", rows.len(), path.display());
+    println!("{header}");
+    let shown = rows.len().min(12);
+    for row in &rows[..shown] {
+        println!("{row}");
+    }
+    if rows.len() > shown {
+        println!("... ({} more rows in the csv)", rows.len() - shown);
+    }
+}
+
+/// Prints a paper-vs-measured comparison line (the per-figure shape check
+/// recorded in EXPERIMENTS.md).
+pub fn shape_check(label: &str, measured: f64, paper: f64) {
+    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    println!("## shape-check {label}: measured {measured:.3e}, paper {paper:.3e} (x{ratio:.2})");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn emit_csv_writes_file() {
+        super::emit_csv("selftest", "a,b", &["1,2".to_string(), "3,4".to_string()]);
+        let content = std::fs::read_to_string("target/figures/selftest.csv").unwrap();
+        assert!(content.contains("a,b") && content.contains("3,4"));
+    }
+}

@@ -1,0 +1,64 @@
+//! # rd-core — Vpass Tuning and Read Disturb Recovery
+//!
+//! The primary contribution of *Read Disturb Errors in MLC NAND Flash
+//! Memory: Characterization, Mitigation, and Recovery* (Cai et al.,
+//! DSN 2015), implemented against the `rd-flash` device substrate:
+//!
+//! * [`VpassTuner`] — the paper's mitigation (§3): a per-block online
+//!   mechanism that finds the lowest pass-through voltage whose induced
+//!   read errors still fit inside the unused ECC correction margin
+//!   `M = 0.8·C − MEE`, re-run daily (Action 1: raise check; Action 2:
+//!   post-refresh lowering) with a fallback to nominal when the margin is
+//!   exhausted. Evaluated by [`lifetime`] to reproduce Fig. 8's +21%
+//!   average endurance.
+//! * [`Rdr`] — the paper's recovery (§4–5): after ECC fails, induce
+//!   additional read disturbs, classify cells as disturb-prone or
+//!   disturb-resistant by their measured threshold-voltage shift against
+//!   `ΔVref`, and probabilistically reassign boundary cells (prone → lower
+//!   state, resistant → higher state) to pull the error count back inside
+//!   the ECC capability. Reproduces Fig. 10's up-to-36% RBER reduction.
+//! * [`characterize`] — the experiment harness regenerating every
+//!   characterization figure (Figs. 2–7, 10).
+//! * [`lifetime`] — the analytic endurance evaluator over the
+//!   `rd-workloads` suite (Fig. 8).
+//! * [`overhead`] — the mechanism's storage and latency cost accounting
+//!   (128 KB metadata and ≈24 s/day for a 512 GB SSD, §3).
+//!
+//! ```
+//! use rd_core::{VpassTuner, VpassTunerConfig};
+//! use rd_flash::{Chip, ChipParams, Geometry, NOMINAL_VPASS};
+//!
+//! # fn main() -> Result<(), rd_core::CoreError> {
+//! let mut chip = Chip::new(Geometry::characterization(), ChipParams::default(), 7);
+//! chip.cycle_block(0, 4_000)?;
+//! chip.program_block_random(0, 1)?;
+//!
+//! let mut tuner = VpassTuner::new(VpassTunerConfig::default());
+//! tuner.manufacture_init(&mut chip, 0)?;
+//! let report = tuner.tune_block(&mut chip, 0)?;
+//! assert!(report.vpass_after <= NOMINAL_VPASS);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod error;
+pub mod lifetime;
+pub mod margin_probe;
+pub mod overhead;
+pub mod policy;
+pub mod rdr;
+pub mod rfr;
+pub mod ror;
+pub mod vpass_tuning;
+
+pub use error::CoreError;
+pub use lifetime::{EnduranceConfig, EnduranceResult, Mitigation};
+pub use policy::VpassTuningPolicy;
+pub use rdr::{Rdr, RdrConfig, RdrOutcome};
+pub use rfr::{Rfr, RfrConfig, RfrOutcome};
+pub use ror::{Ror, RorConfig, RorOutcome};
+pub use vpass_tuning::{TuneReport, VpassTuner, VpassTunerConfig};

@@ -1,0 +1,41 @@
+//! # rd-dram — a compact DRAM RowHammer (read disturb) population model
+//!
+//! The paper's related-work section (§5.2) reproduces two figures from the
+//! authors' RowHammer study (Kim et al., ISCA 2014 [42]): the error rate of
+//! 129 DRAM modules by manufacture date (Fig. 11) and the distribution of
+//! victim cells per aggressor row for three representative modules
+//! (Fig. 12). This crate models that module population so the repository
+//! regenerates every figure in the paper:
+//!
+//! * **Date-dependent vulnerability** — modules manufactured before 2010
+//!   show no RowHammer errors; vulnerability rises steeply with process
+//!   scaling so that *all* tested 2012–2013 modules are vulnerable
+//!   (the paper's emphasized finding).
+//! * **Per-module variation** — each module has its own heavy-tailed
+//!   victims-per-aggressor-row distribution; hammering an aggressor row
+//!   flips a module- and row-dependent number of bits.
+//!
+//! ```
+//! use rd_dram::{ModulePopulation, Manufacturer};
+//!
+//! let population = ModulePopulation::paper_129(42);
+//! assert_eq!(population.modules().len(), 129);
+//! let errors: u64 = population
+//!     .modules()
+//!     .iter()
+//!     .filter(|m| m.manufacturer == Manufacturer::A)
+//!     .map(|m| m.errors_per_gbit)
+//!     .sum();
+//! assert!(errors > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hammer;
+pub mod module;
+pub mod population;
+
+pub use hammer::HammerExperiment;
+pub use module::{DramModule, Manufacturer};
+pub use population::ModulePopulation;

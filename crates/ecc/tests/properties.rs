@@ -1,0 +1,103 @@
+//! Property-based tests for the ECC crate: field axioms and codec
+//! correctness under arbitrary correctable error patterns.
+
+use proptest::prelude::*;
+use rd_ecc::gf::GfTables;
+use rd_ecc::BchCode;
+
+fn arb_elem(m: u32) -> impl Strategy<Value = u16> {
+    let n = (1u32 << m) - 1;
+    0..=(n as u16)
+}
+
+proptest! {
+    /// GF(2^8) multiplication is commutative and associative, with 1 as the
+    /// identity; addition (XOR) distributes.
+    #[test]
+    fn gf_field_axioms(a in arb_elem(8), b in arb_elem(8), c in arb_elem(8)) {
+        let gf = GfTables::new(8).unwrap();
+        prop_assert_eq!(gf.mul(a, b), gf.mul(b, a));
+        prop_assert_eq!(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+        prop_assert_eq!(gf.mul(a, 1), a);
+        prop_assert_eq!(gf.mul(a, 0), 0);
+        prop_assert_eq!(gf.mul(a, b ^ c), gf.mul(a, b) ^ gf.mul(a, c));
+    }
+
+    /// Every nonzero element has an inverse, and division round-trips.
+    #[test]
+    fn gf_inverse(a in 1u16..255, b in 1u16..255) {
+        let gf = GfTables::new(8).unwrap();
+        prop_assert_eq!(gf.mul(a, gf.inv(a)), 1);
+        prop_assert_eq!(gf.mul(gf.div(a, b), b), a);
+    }
+
+    /// Exponent laws hold against repeated multiplication.
+    #[test]
+    fn gf_pow_matches_repeated_mul(a in 1u16..255, e in 0usize..20) {
+        let gf = GfTables::new(8).unwrap();
+        let mut acc = 1u16;
+        for _ in 0..e {
+            acc = gf.mul(acc, a);
+        }
+        prop_assert_eq!(gf.pow(a, e), acc);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The codec corrects ANY error pattern of weight ≤ t, restoring the
+    /// exact data and reporting the exact flipped positions.
+    #[test]
+    fn bch_corrects_any_pattern_up_to_t(
+        seed in any::<u64>(),
+        nerr in 0usize..=6,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let code = BchCode::new_shortened(9, 6, 320).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<u8> = (0..40).map(|_| rng.gen()).collect();
+        let mut cw = code.encode(&data).unwrap();
+        let mut positions = std::collections::BTreeSet::new();
+        while positions.len() < nerr {
+            positions.insert(rng.gen_range(0..code.codeword_bits()));
+        }
+        for &p in &positions {
+            cw[p / 8] ^= 1 << (p % 8);
+        }
+        let out = code.decode(&cw).unwrap();
+        prop_assert_eq!(out.data, data);
+        prop_assert_eq!(out.corrected, nerr);
+        let mut found = out.positions.clone();
+        found.sort_unstable();
+        prop_assert_eq!(found, positions.into_iter().collect::<Vec<_>>());
+    }
+
+    /// Decoding never silently returns wrong data claiming zero or few
+    /// corrections when the pattern exceeds t: it either errors out or
+    /// corrects to SOME codeword (which cannot equal the original data).
+    #[test]
+    fn bch_never_silently_wrong_below_t(
+        seed in any::<u64>(),
+        extra in 1usize..4,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let code = BchCode::new_shortened(9, 4, 320).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<u8> = (0..40).map(|_| rng.gen()).collect();
+        let mut cw = code.encode(&data).unwrap();
+        let nerr = code.t() as usize + extra;
+        let mut positions = std::collections::BTreeSet::new();
+        while positions.len() < nerr {
+            positions.insert(rng.gen_range(0..code.codeword_bits()));
+        }
+        for &p in &positions {
+            cw[p / 8] ^= 1 << (p % 8);
+        }
+        if let Ok(out) = code.decode(&cw) {
+            // Miscorrection to a different codeword is possible, but it can
+            // never reproduce the original data with <= t corrections.
+            prop_assert_ne!(out.data, data);
+        }
+    }
+}

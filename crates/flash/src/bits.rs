@@ -1,0 +1,106 @@
+//! Packed-bit helpers shared by the flash, ECC, and FTL crates.
+//!
+//! Pages are exchanged as packed little-endian-bit byte slices: bit `i` of a
+//! page lives at `bytes[i / 8] >> (i % 8) & 1`.
+
+use rand::Rng;
+
+/// Reads bit `i` of a packed slice.
+///
+/// # Panics
+///
+/// Panics if `i / 8` is out of bounds.
+#[inline]
+pub fn get_bit(bytes: &[u8], i: usize) -> bool {
+    bytes[i / 8] >> (i % 8) & 1 == 1
+}
+
+/// Writes bit `i` of a packed slice.
+///
+/// # Panics
+///
+/// Panics if `i / 8` is out of bounds.
+#[inline]
+pub fn set_bit(bytes: &mut [u8], i: usize, value: bool) {
+    let mask = 1u8 << (i % 8);
+    if value {
+        bytes[i / 8] |= mask;
+    } else {
+        bytes[i / 8] &= !mask;
+    }
+}
+
+/// Allocates a zeroed buffer holding `nbits` bits.
+pub fn zeroed(nbits: usize) -> Vec<u8> {
+    vec![0u8; nbits.div_ceil(8)]
+}
+
+/// Samples `nbits` uniformly random bits.
+pub fn random<R: Rng + ?Sized>(rng: &mut R, nbits: usize) -> Vec<u8> {
+    let mut out = zeroed(nbits);
+    rng.fill(&mut out[..]);
+    // Mask the tail so equality comparisons are well defined.
+    let spare = out.len() * 8 - nbits;
+    if spare > 0 {
+        let last = out.len() - 1;
+        out[last] &= 0xFF >> spare;
+    }
+    out
+}
+
+/// Hamming distance between two equal-length packed slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn hamming(a: &[u8], b: &[u8]) -> u64 {
+    assert_eq!(a.len(), b.len(), "buffers must have equal length");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x ^ y).count_ones() as u64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut buf = zeroed(20);
+        for i in [0, 1, 7, 8, 13, 19] {
+            set_bit(&mut buf, i, true);
+            assert!(get_bit(&buf, i));
+            set_bit(&mut buf, i, false);
+            assert!(!get_bit(&buf, i));
+        }
+    }
+
+    #[test]
+    fn random_masks_tail() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for nbits in [1usize, 7, 8, 9, 63] {
+            let b = random(&mut rng, nbits);
+            assert_eq!(b.len(), nbits.div_ceil(8));
+            for i in nbits..b.len() * 8 {
+                assert!(!get_bit(&b, i), "tail bit {i} set for nbits={nbits}");
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_counts_differences() {
+        let a = vec![0b1010_1010u8, 0xFF];
+        let b = vec![0b1010_1000u8, 0x0F];
+        assert_eq!(hamming(&a, &b), 1 + 4);
+        assert_eq!(hamming(&a, &a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn hamming_rejects_mismatched_lengths() {
+        let _ = hamming(&[0u8], &[0u8, 1u8]);
+    }
+}

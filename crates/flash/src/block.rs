@@ -1,0 +1,767 @@
+//! A flash block: the erase unit, holding wordlines of MLC cells plus the
+//! block-level operating state (wear, retention clock, disturb dose, and the
+//! per-block pass-through voltage that Vpass Tuning adjusts).
+
+use rand::rngs::StdRng;
+
+use crate::bits;
+use crate::cell_array::{CellArray, OperatingPoint};
+use crate::error::FlashError;
+use crate::geometry::{PageAddr, PageKind};
+use crate::params::{ChipParams, NOMINAL_VPASS};
+use crate::state::CellState;
+use crate::BitErrorStats;
+
+/// Snapshot of a block's operating state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockStatus {
+    /// Program/erase cycles endured.
+    pub pe_cycles: u64,
+    /// Reads performed since the last erase.
+    pub reads_since_erase: u64,
+    /// Days since the last erase/program.
+    pub age_days: f64,
+    /// Current pass-through voltage (normalized scale).
+    pub vpass: f64,
+    /// Number of programmed pages.
+    pub programmed_pages: u32,
+    /// Accumulated read-disturb dose (model-internal units).
+    pub dose: f64,
+}
+
+/// One flash block of the Monte-Carlo chip model.
+#[derive(Debug, Clone)]
+pub struct Block {
+    wordlines: u32,
+    bitlines: u32,
+    cells: CellArray,
+    pe_cycles: u64,
+    dose: f64,
+    /// Per-wordline dose adjustment on top of the block-uniform dose:
+    /// positive for the neighbours of hammered wordlines (concentrated read
+    /// disturb, [97]), negative for a hammered wordline itself (it is not
+    /// pass-through-stressed during its own reads).
+    wordline_extra_dose: Vec<f64>,
+    age_days: f64,
+    reads_since_erase: u64,
+    vpass: f64,
+    page_programmed: Vec<bool>,
+    /// Cell indices whose base Vth can possibly exceed a relaxed Vpass.
+    candidates: Vec<u32>,
+    candidate_floor: f64,
+}
+
+/// Per-bitline maxima of candidate cells: `(best_vth, best_wordline,
+/// second_vth)`. Lets a read of wordline `w` decide blocking in O(1).
+struct BitlineMaxima {
+    best: Vec<(f32, u32)>,
+    second: Vec<f32>,
+}
+
+impl Block {
+    pub(crate) fn new(wordlines: u32, bitlines: u32, params: &ChipParams, rng: &mut StdRng) -> Self {
+        let cells = CellArray::new(wordlines, bitlines, params, rng);
+        let candidate_floor = params.min_vpass.min(params.outlier_base) - 2.0;
+        let mut block = Self {
+            wordlines,
+            bitlines,
+            cells,
+            pe_cycles: 0,
+            dose: 0.0,
+            wordline_extra_dose: vec![0.0; wordlines as usize],
+            age_days: 0.0,
+            reads_since_erase: 0,
+            vpass: NOMINAL_VPASS,
+            page_programmed: vec![false; wordlines as usize * 2],
+            candidates: Vec::new(),
+            candidate_floor,
+        };
+        block.refresh_candidates();
+        block
+    }
+
+    /// The block's current operating point (wear, age, block-uniform dose).
+    pub fn operating_point(&self) -> OperatingPoint {
+        OperatingPoint {
+            pe_cycles: self.pe_cycles,
+            age_days: self.age_days,
+            dose: self.dose,
+        }
+    }
+
+    /// The operating point as seen by one wordline, including its
+    /// concentrated-disturb adjustment.
+    pub fn operating_point_for(&self, wordline: u32) -> OperatingPoint {
+        OperatingPoint {
+            pe_cycles: self.pe_cycles,
+            age_days: self.age_days,
+            dose: (self.dose + self.wordline_extra_dose[wordline as usize]).max(0.0),
+        }
+    }
+
+    /// Iterates `(wordline, bitline, intended_state, current_vth)` over the
+    /// whole block, applying each wordline's own disturb dose.
+    pub fn iter_cells_current<'a>(
+        &'a self,
+        params: &'a ChipParams,
+    ) -> impl Iterator<Item = (u32, u32, crate::state::CellState, f64)> + 'a {
+        (0..self.wordlines).flat_map(move |wl| {
+            let op = self.operating_point_for(wl);
+            (0..self.bitlines).map(move |bl| {
+                (wl, bl, self.cells.intended_state(wl, bl), self.cells.current_vth(params, wl, bl, op))
+            })
+        })
+    }
+
+    /// Status snapshot.
+    pub fn status(&self) -> BlockStatus {
+        BlockStatus {
+            pe_cycles: self.pe_cycles,
+            reads_since_erase: self.reads_since_erase,
+            age_days: self.age_days,
+            vpass: self.vpass,
+            programmed_pages: self.page_programmed.iter().filter(|p| **p).count() as u32,
+            dose: self.dose,
+        }
+    }
+
+    /// Read-only access to the cell array (oracle inspection).
+    pub fn cells(&self) -> &CellArray {
+        &self.cells
+    }
+
+    /// Current pass-through voltage.
+    pub fn vpass(&self) -> f64 {
+        self.vpass
+    }
+
+    /// Sets the per-block pass-through voltage (the interface the paper
+    /// proposes manufacturers add; see §7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlashError::VpassOutOfRange`] outside
+    /// `[params.min_vpass, NOMINAL_VPASS]`.
+    pub fn set_vpass(&mut self, params: &ChipParams, vpass: f64) -> Result<(), FlashError> {
+        if !(params.min_vpass..=NOMINAL_VPASS).contains(&vpass) {
+            return Err(FlashError::VpassOutOfRange {
+                requested: vpass,
+                min: params.min_vpass,
+                max: NOMINAL_VPASS,
+            });
+        }
+        self.vpass = vpass;
+        Ok(())
+    }
+
+    /// Erases the block: all cells return to ER, wear increments, the
+    /// retention clock, read counter, and disturb dose reset.
+    pub fn erase(&mut self, params: &ChipParams, rng: &mut StdRng) {
+        self.pe_cycles += 1;
+        self.dose = 0.0;
+        self.wordline_extra_dose.fill(0.0);
+        self.age_days = 0.0;
+        self.reads_since_erase = 0;
+        self.page_programmed.fill(false);
+        self.cells.erase(params, rng, self.pe_cycles);
+        self.refresh_candidates();
+    }
+
+    /// Adds `cycles` of prior wear without simulating each cycle (the
+    /// paper's experiments pre-wear blocks to 2K–15K P/E before measuring).
+    /// The block is left erased.
+    pub fn pre_wear(&mut self, params: &ChipParams, rng: &mut StdRng, cycles: u64) {
+        self.pe_cycles += cycles;
+        self.dose = 0.0;
+        self.wordline_extra_dose.fill(0.0);
+        self.age_days = 0.0;
+        self.reads_since_erase = 0;
+        self.page_programmed.fill(false);
+        self.cells.erase(params, rng, self.pe_cycles);
+        self.refresh_candidates();
+    }
+
+    /// Programs one page. LSB pages may be programmed before their MSB page
+    /// (real MLC program order); programming an MSB page whose LSB page was
+    /// never written treats the LSB data as all-ones (erased).
+    ///
+    /// # Errors
+    ///
+    /// * [`FlashError::PageOutOfRange`] for a bad index;
+    /// * [`FlashError::PageAlreadyProgrammed`] if the page was written since
+    ///   the last erase;
+    /// * [`FlashError::DataLengthMismatch`] if `data` is not exactly one bit
+    ///   per bitline.
+    pub fn program_page(
+        &mut self,
+        params: &ChipParams,
+        rng: &mut StdRng,
+        page: u32,
+        data: &[u8],
+    ) -> Result<(), FlashError> {
+        if page >= self.wordlines * 2 {
+            return Err(FlashError::PageOutOfRange { page, pages: self.wordlines * 2 });
+        }
+        if self.page_programmed[page as usize] {
+            return Err(FlashError::PageAlreadyProgrammed { page });
+        }
+        let expected = self.bitlines as usize;
+        if data.len() * 8 != expected {
+            return Err(FlashError::DataLengthMismatch { got: data.len() * 8, expected });
+        }
+        // The retention clock tracks the age of the *data*: writing into a
+        // fully-erased block starts a fresh retention period.
+        if !self.page_programmed.iter().any(|&p| p) {
+            self.age_days = 0.0;
+        }
+        let addr = PageAddr { block: 0, page };
+        let wl = addr.wordline();
+        let mut states = Vec::with_capacity(self.bitlines as usize);
+        match addr.kind() {
+            PageKind::Lsb => {
+                // First programming pass: LSB=1 stays erased, LSB=0 moves to
+                // an intermediate state read correctly via Vb (modelled as P2).
+                for bl in 0..self.bitlines as usize {
+                    states.push(if bits::get_bit(data, bl) { CellState::Er } else { CellState::P2 });
+                }
+            }
+            PageKind::Msb => {
+                for bl in 0..self.bitlines as usize {
+                    let lsb = self.cells.intended_state(wl, bl as u32).lsb();
+                    states.push(CellState::from_bits(lsb, bits::get_bit(data, bl)));
+                }
+            }
+        }
+        self.cells.program_wordline(params, rng, wl, &states, self.pe_cycles);
+        self.page_programmed[page as usize] = true;
+        self.refresh_candidates_wordline(wl);
+        Ok(())
+    }
+
+    /// Whether a page has been programmed since the last erase.
+    pub fn is_page_programmed(&self, page: u32) -> bool {
+        self.page_programmed
+            .get(page as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Advances the block's retention clock.
+    pub fn advance_days(&mut self, days: f64) {
+        assert!(days >= 0.0, "time flows forward");
+        self.age_days += days;
+    }
+
+    /// Applies the disturb effect of `n` reads *spread across the block*
+    /// without materializing data (batch accounting; the closed-form cell
+    /// model makes this exact, see [`crate::noise::read_disturb`]). Reads
+    /// spread over wordlines average out the concentrated-neighbour effect,
+    /// so only the uniform dose accumulates.
+    pub fn apply_read_disturbs(&mut self, params: &ChipParams, n: u64) {
+        self.dose += params.dose_increment(n, self.pe_cycles, self.vpass);
+        self.reads_since_erase += n;
+    }
+
+    /// Applies the disturb effect of `n` reads all targeting one wordline
+    /// (a "hammered" page): every other wordline receives the uniform dose,
+    /// the direct neighbours an extra `rd_neighbor_boost` multiple of it
+    /// (concentrated read disturb, [97]), and the target itself none — its
+    /// gates see read references, not Vpass, during its own reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wordline` is out of range.
+    pub fn hammer_wordline(&mut self, params: &ChipParams, wordline: u32, n: u64) {
+        assert!(wordline < self.wordlines, "wordline out of range");
+        let inc = params.dose_increment(n, self.pe_cycles, self.vpass);
+        self.dose += inc;
+        self.reads_since_erase += n;
+        let wl = wordline as usize;
+        self.wordline_extra_dose[wl] -= inc;
+        let boost = inc * params.rd_neighbor_boost;
+        if wl > 0 {
+            self.wordline_extra_dose[wl - 1] += boost;
+        }
+        if wl + 1 < self.wordlines as usize {
+            self.wordline_extra_dose[wl + 1] += boost;
+        }
+    }
+
+    /// Reads a page at the default references shifted by `refs_shift`, at
+    /// the block's current Vpass. The read itself disturbs the block (pass
+    /// `disturb = false` for oracle measurements).
+    pub fn read_page(
+        &mut self,
+        params: &ChipParams,
+        page: u32,
+        refs_shift: f64,
+        disturb: bool,
+    ) -> Result<crate::chip::ReadOutcome, FlashError> {
+        let refs = params.refs.shifted(refs_shift);
+        self.read_page_with_refs(params, page, &refs, disturb)
+    }
+
+    /// Reads a page at fully custom read references (each boundary moved
+    /// independently — what read-reference optimization needs).
+    pub fn read_page_with_refs(
+        &mut self,
+        params: &ChipParams,
+        page: u32,
+        refs: &crate::state::VoltageRefs,
+        disturb: bool,
+    ) -> Result<crate::chip::ReadOutcome, FlashError> {
+        if page >= self.wordlines * 2 {
+            return Err(FlashError::PageOutOfRange { page, pages: self.wordlines * 2 });
+        }
+        let addr = PageAddr { block: 0, page };
+        let wl = addr.wordline();
+        let kind = addr.kind();
+        if disturb {
+            self.hammer_wordline(params, wl, 1);
+        }
+        let op = self.operating_point_for(wl);
+        let maxima = self.bitline_maxima(params);
+
+        let nbits = self.bitlines as usize;
+        let mut data = bits::zeroed(nbits);
+        let mut errors = 0u64;
+        let mut blocked_count = 0u64;
+        for bl in 0..self.bitlines {
+            let blocked = maxima.blocks(bl, wl, self.vpass);
+            let sensed = if blocked {
+                blocked_count += 1;
+                CellState::P3
+            } else {
+                refs.classify(self.cells.current_vth(params, wl, bl, op))
+            };
+            let bit = match kind {
+                PageKind::Lsb => sensed.lsb(),
+                PageKind::Msb => sensed.msb(),
+            };
+            bits::set_bit(&mut data, bl as usize, bit);
+            let expected = {
+                let intended = self.cells.intended_state(wl, bl);
+                match kind {
+                    PageKind::Lsb => intended.lsb(),
+                    PageKind::Msb => intended.msb(),
+                }
+            };
+            if bit != expected {
+                errors += 1;
+            }
+        }
+        Ok(crate::chip::ReadOutcome {
+            data,
+            stats: BitErrorStats::new(errors, nbits as u64),
+            blocked_bitlines: blocked_count,
+        })
+    }
+
+    /// Oracle RBER over all programmed pages: counts both bits of every cell
+    /// against the intended state, including pass-through blocking, without
+    /// adding disturb dose. This is what the paper's figures plot.
+    pub fn rber_oracle(&self, params: &ChipParams) -> BitErrorStats {
+        let maxima = self.bitline_maxima(params);
+        let mut errors = 0u64;
+        let mut total_bits = 0u64;
+        for wl in 0..self.wordlines {
+            let lsb_on = self.page_programmed[(wl * 2) as usize];
+            let msb_on = self.page_programmed[(wl * 2 + 1) as usize];
+            if !lsb_on && !msb_on {
+                continue;
+            }
+            let op = self.operating_point_for(wl);
+            for bl in 0..self.bitlines {
+                let blocked = maxima.blocks(bl, wl, self.vpass);
+                let sensed = if blocked {
+                    CellState::P3
+                } else {
+                    params.refs.classify(self.cells.current_vth(params, wl, bl, op))
+                };
+                let intended = self.cells.intended_state(wl, bl);
+                if lsb_on {
+                    total_bits += 1;
+                    errors += u64::from(sensed.lsb() != intended.lsb());
+                }
+                if msb_on {
+                    total_bits += 1;
+                    errors += u64::from(sensed.msb() != intended.msb());
+                }
+            }
+        }
+        BitErrorStats::new(errors, total_bits)
+    }
+
+    /// Oracle RBER of a single wordline's programmed pages (used by the
+    /// concentrated-disturb experiments to resolve per-wordline damage).
+    pub fn rber_oracle_wordline(&self, params: &ChipParams, wordline: u32) -> BitErrorStats {
+        let maxima = self.bitline_maxima(params);
+        let mut errors = 0u64;
+        let mut total_bits = 0u64;
+        let lsb_on = self.page_programmed[(wordline * 2) as usize];
+        let msb_on = self.page_programmed[(wordline * 2 + 1) as usize];
+        if !lsb_on && !msb_on {
+            return BitErrorStats::default();
+        }
+        let op = self.operating_point_for(wordline);
+        for bl in 0..self.bitlines {
+            let blocked = maxima.blocks(bl, wordline, self.vpass);
+            let sensed = if blocked {
+                CellState::P3
+            } else {
+                params.refs.classify(self.cells.current_vth(params, wordline, bl, op))
+            };
+            let intended = self.cells.intended_state(wordline, bl);
+            if lsb_on {
+                total_bits += 1;
+                errors += u64::from(sensed.lsb() != intended.lsb());
+            }
+            if msb_on {
+                total_bits += 1;
+                errors += u64::from(sensed.msb() != intended.msb());
+            }
+        }
+        BitErrorStats::new(errors, total_bits)
+    }
+
+    /// Measures the threshold voltage of every cell on a wordline by a
+    /// read-retry sweep quantized at `step` volts. Blocked bitlines (cells
+    /// elsewhere on the bitline above Vpass) report `f64::INFINITY`.
+    ///
+    /// When `disturb` is true the sweep's reads (one per step) disturb the
+    /// block, exactly as the paper's FPGA methodology does.
+    pub fn measure_wordline_vth(
+        &mut self,
+        params: &ChipParams,
+        wordline: u32,
+        step: f64,
+        disturb: bool,
+    ) -> Result<Vec<f64>, FlashError> {
+        if wordline >= self.wordlines {
+            return Err(FlashError::WordlineOutOfRange { wordline, wordlines: self.wordlines });
+        }
+        assert!(step > 0.0, "step must be positive");
+        let sweep_lo = -60.0;
+        let steps = ((self.vpass - sweep_lo) / step).ceil() as u64;
+        if disturb {
+            self.hammer_wordline(params, wordline, steps);
+        }
+        let op = self.operating_point_for(wordline);
+        let maxima = self.bitline_maxima(params);
+        let mut out = Vec::with_capacity(self.bitlines as usize);
+        for bl in 0..self.bitlines {
+            if maxima.blocks(bl, wordline, self.vpass) {
+                out.push(f64::INFINITY);
+            } else {
+                let v = self.cells.current_vth(params, wordline, bl, op);
+                out.push((v / step).floor() * step + step / 2.0);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Recomputes the pass-through candidate cache after a whole-block change.
+    fn refresh_candidates(&mut self) {
+        self.candidates = self.cells.passthrough_candidates(self.candidate_floor);
+    }
+
+    /// Cheap incremental variant after programming a single wordline.
+    fn refresh_candidates_wordline(&mut self, wordline: u32) {
+        let lo = wordline as usize * self.bitlines as usize;
+        let hi = lo + self.bitlines as usize;
+        self.candidates.retain(|&i| (i as usize) < lo || (i as usize) >= hi);
+        for i in lo..hi {
+            let bl = (i - lo) as u32;
+            if self.cells.base_vth(wordline, bl) > self.candidate_floor {
+                self.candidates.push(i as u32);
+            }
+        }
+    }
+
+    fn bitline_maxima(&self, params: &ChipParams) -> BitlineMaxima {
+        let mut maxima = BitlineMaxima {
+            best: vec![(f32::NEG_INFINITY, u32::MAX); self.bitlines as usize],
+            second: vec![f32::NEG_INFINITY; self.bitlines as usize],
+        };
+        for &i in &self.candidates {
+            let wl = i / self.bitlines;
+            let bl = (i % self.bitlines) as usize;
+            let v = self.cells.current_vth_at(params, i as usize, self.operating_point_for(wl)) as f32;
+            let (best_v, _) = maxima.best[bl];
+            if v > best_v {
+                maxima.second[bl] = best_v;
+                maxima.best[bl] = (v, wl);
+            } else if v > maxima.second[bl] {
+                maxima.second[bl] = v;
+            }
+        }
+        maxima
+    }
+}
+
+impl BitlineMaxima {
+    /// Whether a read of `target_wl` on bitline `bl` is blocked at `vpass`:
+    /// some *other* wordline's cell on the bitline exceeds the pass-through
+    /// voltage, so the bitline cannot conduct.
+    #[inline]
+    fn blocks(&self, bl: u32, target_wl: u32, vpass: f64) -> bool {
+        let (best_v, best_wl) = self.best[bl as usize];
+        let relevant = if best_wl == target_wl { self.second[bl as usize] } else { best_v };
+        relevant as f64 > vpass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn block_with(wordlines: u32, bitlines: u32) -> (Block, ChipParams, StdRng) {
+        let params = ChipParams::default();
+        let mut rng = StdRng::seed_from_u64(2024);
+        let block = Block::new(wordlines, bitlines, &params, &mut rng);
+        (block, params, rng)
+    }
+
+    fn program_random(block: &mut Block, params: &ChipParams, rng: &mut StdRng) {
+        for page in 0..block.wordlines * 2 {
+            let data = bits::random(rng, block.bitlines as usize);
+            block.program_page(params, rng, page, &data).unwrap();
+        }
+    }
+
+    #[test]
+    fn fresh_programmed_block_has_near_zero_errors() {
+        let (mut block, params, mut rng) = block_with(8, 1024);
+        program_random(&mut block, &params, &mut rng);
+        let stats = block.rber_oracle(&params);
+        assert_eq!(stats.bits, 8 * 1024 * 2);
+        // Fresh block: only deep Gaussian tails can err.
+        assert!(stats.rate() < 1e-3, "fresh rber = {}", stats.rate());
+    }
+
+    #[test]
+    fn double_program_rejected() {
+        let (mut block, params, mut rng) = block_with(4, 512);
+        let data = bits::random(&mut rng, 512);
+        block.program_page(&params, &mut rng, 0, &data).unwrap();
+        let err = block.program_page(&params, &mut rng, 0, &data).unwrap_err();
+        assert!(matches!(err, FlashError::PageAlreadyProgrammed { page: 0 }));
+    }
+
+    #[test]
+    fn wrong_data_length_rejected() {
+        let (mut block, params, mut rng) = block_with(4, 512);
+        let err = block.program_page(&params, &mut rng, 0, &[0u8; 3]).unwrap_err();
+        assert!(matches!(err, FlashError::DataLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn read_back_matches_programmed_data() {
+        let (mut block, params, mut rng) = block_with(4, 512);
+        let lsb = bits::random(&mut rng, 512);
+        let msb = bits::random(&mut rng, 512);
+        block.program_page(&params, &mut rng, 6, &lsb).unwrap(); // wl 3 LSB
+        block.program_page(&params, &mut rng, 7, &msb).unwrap(); // wl 3 MSB
+        let out_l = block.read_page(&params, 6, 0.0, true).unwrap();
+        let out_m = block.read_page(&params, 7, 0.0, true).unwrap();
+        // A fresh block reads back exactly on a 512-bitline sample with
+        // overwhelming probability.
+        assert_eq!(bits::hamming(&out_l.data, &lsb), out_l.stats.errors);
+        assert_eq!(bits::hamming(&out_m.data, &msb), out_m.stats.errors);
+        assert!(out_l.stats.errors <= 1 && out_m.stats.errors <= 1);
+    }
+
+    #[test]
+    fn reads_accumulate_disturb_and_counters() {
+        let (mut block, params, mut rng) = block_with(4, 512);
+        program_random(&mut block, &params, &mut rng);
+        let d0 = block.status().dose;
+        block.read_page(&params, 0, 0.0, true).unwrap();
+        block.apply_read_disturbs(&params, 99);
+        let st = block.status();
+        assert_eq!(st.reads_since_erase, 100);
+        assert!(st.dose > d0);
+        // Oracle read does not disturb.
+        let d1 = block.status().dose;
+        block.read_page(&params, 0, 0.0, false).unwrap();
+        assert_eq!(block.status().dose, d1);
+    }
+
+    #[test]
+    fn erase_resets_state() {
+        let (mut block, params, mut rng) = block_with(4, 512);
+        program_random(&mut block, &params, &mut rng);
+        block.apply_read_disturbs(&params, 1000);
+        block.advance_days(3.0);
+        block.erase(&params, &mut rng);
+        let st = block.status();
+        assert_eq!(st.pe_cycles, 1);
+        assert_eq!(st.reads_since_erase, 0);
+        assert_eq!(st.age_days, 0.0);
+        assert_eq!(st.dose, 0.0);
+        assert_eq!(st.programmed_pages, 0);
+    }
+
+    #[test]
+    fn disturb_increases_rber_on_worn_block() {
+        let (mut block, params, mut rng) = block_with(16, 2048);
+        block.pre_wear(&params, &mut rng, 8_000);
+        program_random(&mut block, &params, &mut rng);
+        let before = block.rber_oracle(&params).rate();
+        block.apply_read_disturbs(&params, 500_000);
+        let after = block.rber_oracle(&params).rate();
+        assert!(after > before, "rber before {before} after {after}");
+    }
+
+    #[test]
+    fn lowering_vpass_reduces_disturb_accumulation() {
+        let params = ChipParams::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut hi = Block::new(16, 2048, &params, &mut rng);
+        hi.pre_wear(&params, &mut rng, 8_000);
+        let mut lo = hi.clone();
+        let mut rng2 = StdRng::seed_from_u64(8);
+        program_random(&mut hi, &params, &mut rng2);
+        let mut rng2 = StdRng::seed_from_u64(8);
+        program_random(&mut lo, &params, &mut rng2);
+        lo.set_vpass(&params, 0.96 * NOMINAL_VPASS).unwrap();
+        hi.apply_read_disturbs(&params, 200_000);
+        lo.apply_read_disturbs(&params, 200_000);
+        assert!(lo.status().dose < hi.status().dose);
+    }
+
+    #[test]
+    fn vpass_range_enforced() {
+        let (mut block, params, _) = block_with(4, 512);
+        assert!(block.set_vpass(&params, NOMINAL_VPASS).is_ok());
+        assert!(block.set_vpass(&params, params.min_vpass).is_ok());
+        assert!(matches!(
+            block.set_vpass(&params, params.min_vpass - 5.0),
+            Err(FlashError::VpassOutOfRange { .. })
+        ));
+        assert!(block.set_vpass(&params, NOMINAL_VPASS + 1.0).is_err());
+    }
+
+    #[test]
+    fn relaxed_vpass_blocks_some_bitlines_on_large_block() {
+        let params = ChipParams::default();
+        let mut rng = StdRng::seed_from_u64(42);
+        // Large enough that outliers (~4e-4 of P3 cells) are present.
+        let mut block = Block::new(32, 4096, &params, &mut rng);
+        program_random(&mut block, &params, &mut rng);
+        block.set_vpass(&params, params.min_vpass).unwrap();
+        let mut blocked = 0u64;
+        for page in 0..8 {
+            blocked += block.read_page(&params, page, 0.0, false).unwrap().blocked_bitlines;
+        }
+        assert!(blocked > 0, "expected some blocked bitlines at minimum vpass");
+        // And none at nominal.
+        block.set_vpass(&params, NOMINAL_VPASS).unwrap();
+        let mut blocked_nominal = 0u64;
+        for page in 0..8 {
+            blocked_nominal += block.read_page(&params, page, 0.0, false).unwrap().blocked_bitlines;
+        }
+        assert_eq!(blocked_nominal, 0);
+    }
+
+    #[test]
+    fn measure_vth_quantizes_and_flags_blocked() {
+        let (mut block, params, mut rng) = block_with(4, 512);
+        program_random(&mut block, &params, &mut rng);
+        let step = 2.0;
+        let measured = block.measure_wordline_vth(&params, 1, step, false).unwrap();
+        let op = block.operating_point();
+        for (bl, m) in measured.iter().enumerate() {
+            if m.is_finite() {
+                let truth = block.cells().current_vth(&params, 1, bl as u32, op);
+                assert!((truth - m).abs() <= step / 2.0 + 1e-9, "bl {bl}: {truth} vs {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn hammering_concentrates_on_neighbors() {
+        // [97]: direct neighbours of a repeatedly-read page see more
+        // disturb than distant wordlines, and the hammered page itself sees
+        // less.
+        let params = ChipParams::default();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut block = Block::new(16, 4096, &params, &mut rng);
+        block.pre_wear(&params, &mut rng, 8_000);
+        program_random(&mut block, &params, &mut rng);
+        let target = 8u32;
+        block.hammer_wordline(&params, target, 300_000);
+        let neighbor = block.rber_oracle_wordline(&params, target + 1).rate()
+            + block.rber_oracle_wordline(&params, target - 1).rate();
+        let distant = block.rber_oracle_wordline(&params, 1).rate()
+            + block.rber_oracle_wordline(&params, 15).rate();
+        let hammered = block.rber_oracle_wordline(&params, target).rate();
+        assert!(
+            neighbor > 1.3 * distant,
+            "neighbours {neighbor:.3e} not hotter than distant {distant:.3e}"
+        );
+        assert!(
+            hammered < distant,
+            "hammered wordline {hammered:.3e} should see least disturb vs {distant:.3e}"
+        );
+    }
+
+    #[test]
+    fn hammered_dose_never_negative() {
+        let params = ChipParams::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut block = Block::new(8, 512, &params, &mut rng);
+        block.pre_wear(&params, &mut rng, 8_000);
+        program_random(&mut block, &params, &mut rng);
+        block.hammer_wordline(&params, 4, 1_000_000);
+        let op = block.operating_point_for(4);
+        assert!(op.dose >= 0.0);
+        // And the uniform batch keeps all wordlines equal.
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let mut uniform = Block::new(8, 512, &params, &mut rng2);
+        uniform.apply_read_disturbs(&params, 1000);
+        for wl in 0..8 {
+            assert_eq!(uniform.operating_point_for(wl).dose, uniform.operating_point().dose);
+        }
+    }
+
+    #[test]
+    fn unprogrammed_wordlines_still_disturbed() {
+        // [15, 67]: reads disturb erased wordlines of a partially
+        // programmed block; their (erased) cells shift upward.
+        let params = ChipParams::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut block = Block::new(8, 1024, &params, &mut rng);
+        block.pre_wear(&params, &mut rng, 8_000);
+        // Program only wordline 0 (pages 0 and 1).
+        for page in 0..2 {
+            let data = bits::random(&mut rng, 1024);
+            block.program_page(&params, &mut rng, page, &data).unwrap();
+        }
+        let before: f64 = (0..1024)
+            .map(|bl| block.cells().current_vth(&params, 5, bl, block.operating_point_for(5)))
+            .sum::<f64>()
+            / 1024.0;
+        block.apply_read_disturbs(&params, 1_000_000);
+        let after: f64 = (0..1024)
+            .map(|bl| block.cells().current_vth(&params, 5, bl, block.operating_point_for(5)))
+            .sum::<f64>()
+            / 1024.0;
+        assert!(after > before + 2.0, "erased wordline moved only {before:.1} -> {after:.1}");
+    }
+
+    #[test]
+    fn msb_after_lsb_preserves_lsb_data() {
+        let (mut block, params, mut rng) = block_with(2, 512);
+        let lsb = bits::random(&mut rng, 512);
+        block.program_page(&params, &mut rng, 0, &lsb).unwrap();
+        let msb = bits::random(&mut rng, 512);
+        block.program_page(&params, &mut rng, 1, &msb).unwrap();
+        for bl in 0..512u32 {
+            let st = block.cells().intended_state(0, bl);
+            assert_eq!(st.lsb(), bits::get_bit(&lsb, bl as usize), "bl {bl}");
+            assert_eq!(st.msb(), bits::get_bit(&msb, bl as usize), "bl {bl}");
+        }
+    }
+}

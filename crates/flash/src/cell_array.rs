@@ -1,0 +1,330 @@
+//! Per-cell storage for a flash block's Monte-Carlo state.
+//!
+//! Structure-of-arrays layout: for every cell we keep
+//!
+//! * the **intended** state (what the controller asked to program — errors
+//!   are counted against this),
+//! * the **base threshold voltage** actually placed at program time
+//!   (including misprogram and over-programmed-outlier effects),
+//! * two process-variation factors sampled once per physical cell and kept
+//!   across erases: the retention **leak factor** and the read-disturb
+//!   **susceptibility**.
+//!
+//! The *current* voltage of a cell is a pure function of this state plus the
+//! block-level operating point (wear, retention age, accumulated disturb
+//! dose), so a million reads are applied in O(1) bookkeeping and evaluated
+//! lazily per cell.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::noise::{pe_cycling, read_disturb, retention};
+use crate::params::ChipParams;
+use crate::state::{CellState, ALL_STATES};
+
+/// Block-level operating point under which cell voltages are evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OperatingPoint {
+    /// Program/erase cycles the block has endured.
+    pub pe_cycles: u64,
+    /// Days since the block's data was programmed.
+    pub age_days: f64,
+    /// Accumulated read-disturb dose (see [`ChipParams::dose_increment`]).
+    pub dose: f64,
+}
+
+/// SoA cell storage for one block.
+#[derive(Debug, Clone)]
+pub struct CellArray {
+    wordlines: u32,
+    bitlines: u32,
+    intended: Vec<u8>,
+    base_vth: Vec<f32>,
+    leak: Vec<f32>,
+    susceptibility: Vec<f32>,
+}
+
+impl CellArray {
+    /// Creates an erased array, sampling per-cell process variation.
+    pub fn new(wordlines: u32, bitlines: u32, params: &ChipParams, rng: &mut StdRng) -> Self {
+        let n = wordlines as usize * bitlines as usize;
+        let mut leak = Vec::with_capacity(n);
+        let mut susceptibility = Vec::with_capacity(n);
+        for _ in 0..n {
+            leak.push(retention::sample_leak_factor(rng, params) as f32);
+            susceptibility.push(read_disturb::sample_susceptibility(rng, params) as f32);
+        }
+        let mut array = Self {
+            wordlines,
+            bitlines,
+            intended: vec![CellState::Er.index(); n],
+            base_vth: vec![0.0; n],
+            leak,
+            susceptibility,
+        };
+        array.erase(params, rng, 0);
+        array
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.intended.len()
+    }
+
+    /// Whether the array is empty (zero-sized geometry).
+    pub fn is_empty(&self) -> bool {
+        self.intended.is_empty()
+    }
+
+    /// Wordline count.
+    pub fn wordlines(&self) -> u32 {
+        self.wordlines
+    }
+
+    /// Bitline count.
+    pub fn bitlines(&self) -> u32 {
+        self.bitlines
+    }
+
+    #[inline]
+    fn index(&self, wordline: u32, bitline: u32) -> usize {
+        debug_assert!(wordline < self.wordlines && bitline < self.bitlines);
+        wordline as usize * self.bitlines as usize + bitline as usize
+    }
+
+    /// Re-samples every cell into the erased distribution. Process-variation
+    /// factors persist (they belong to the physical cell).
+    pub fn erase(&mut self, params: &ChipParams, rng: &mut StdRng, pe_cycles: u64) {
+        let dist = params.state_dist(CellState::Er, pe_cycles);
+        for i in 0..self.len() {
+            self.intended[i] = CellState::Er.index();
+            let z = retention::sample_standard_normal(rng);
+            self.base_vth[i] = (dist.mean + dist.sigma * z) as f32;
+        }
+    }
+
+    /// Programs one wordline to the given target states (one per bitline),
+    /// applying misprogram and over-programmed-outlier noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != bitlines`.
+    pub fn program_wordline(
+        &mut self,
+        params: &ChipParams,
+        rng: &mut StdRng,
+        wordline: u32,
+        states: &[CellState],
+        pe_cycles: u64,
+    ) {
+        assert_eq!(states.len(), self.bitlines as usize, "one state per bitline");
+        for (bitline, &state) in states.iter().enumerate() {
+            let i = self.index(wordline, bitline as u32);
+            self.intended[i] = state.index();
+            let placed = pe_cycling::place_state(rng, params, state, pe_cycles);
+            self.base_vth[i] = self.sample_placed_vth(params, rng, placed, pe_cycles) as f32;
+        }
+    }
+
+    fn sample_placed_vth(
+        &self,
+        params: &ChipParams,
+        rng: &mut StdRng,
+        placed: CellState,
+        pe_cycles: u64,
+    ) -> f64 {
+        if placed == CellState::P3 && rng.gen::<f64>() < params.outlier_prob {
+            // Over-programmed outlier: exponential tail above outlier_base,
+            // truncated at outlier_cap (program-verify bounds the maximum
+            // stored voltage below the nominal Vpass).
+            let span = 1.0 - (-(params.outlier_cap - params.outlier_base) / params.outlier_scale).exp();
+            let u: f64 = rng.gen::<f64>() * span;
+            return params.outlier_base - params.outlier_scale * (1.0 - u).ln();
+        }
+        let dist = params.state_dist(placed, pe_cycles);
+        dist.mean + dist.sigma * retention::sample_standard_normal(rng)
+    }
+
+    /// The intended (programmed) state of a cell.
+    pub fn intended_state(&self, wordline: u32, bitline: u32) -> CellState {
+        CellState::from_index(self.intended[self.index(wordline, bitline)])
+    }
+
+    /// The cell's base voltage (as placed at program time, before retention
+    /// and disturb).
+    pub fn base_vth(&self, wordline: u32, bitline: u32) -> f64 {
+        self.base_vth[self.index(wordline, bitline)] as f64
+    }
+
+    /// The cell's read-disturb susceptibility factor.
+    pub fn susceptibility(&self, wordline: u32, bitline: u32) -> f64 {
+        self.susceptibility[self.index(wordline, bitline)] as f64
+    }
+
+    /// The cell's current threshold voltage under an operating point:
+    /// retention loss applied to the base voltage, then the accumulated
+    /// disturb dose.
+    pub fn current_vth(&self, params: &ChipParams, wordline: u32, bitline: u32, op: OperatingPoint) -> f64 {
+        let i = self.index(wordline, bitline);
+        self.current_vth_at(params, i, op)
+    }
+
+    #[inline]
+    pub(crate) fn current_vth_at(&self, params: &ChipParams, i: usize, op: OperatingPoint) -> f64 {
+        let base = self.base_vth[i] as f64;
+        let drop = retention::vth_drop(params, base, self.leak[i] as f64, op.pe_cycles, op.age_days);
+        read_disturb::disturbed_vth(params, base - drop, self.susceptibility[i] as f64, op.dose)
+    }
+
+    /// Iterates `(wordline, bitline, intended_state, current_vth)` over the
+    /// whole array.
+    pub fn iter_cells<'a>(
+        &'a self,
+        params: &'a ChipParams,
+        op: OperatingPoint,
+    ) -> impl Iterator<Item = (u32, u32, CellState, f64)> + 'a {
+        (0..self.len()).map(move |i| {
+            let wl = (i / self.bitlines as usize) as u32;
+            let bl = (i % self.bitlines as usize) as u32;
+            (
+                wl,
+                bl,
+                CellState::from_index(self.intended[i]),
+                self.current_vth_at(params, i, op),
+            )
+        })
+    }
+
+    /// Indices of cells whose base voltage exceeds `floor` — the candidate
+    /// set for pass-through blocking (only these can ever exceed a relaxed
+    /// Vpass; disturb cannot push other cells that high, see module docs of
+    /// [`crate::noise::read_disturb`]).
+    pub(crate) fn passthrough_candidates(&self, floor: f64) -> Vec<u32> {
+        (0..self.len() as u32)
+            .filter(|&i| self.base_vth[i as usize] as f64 > floor)
+            .collect()
+    }
+
+    /// Fraction of cells intended per state (diagnostic helper).
+    pub fn state_fractions(&self) -> [f64; 4] {
+        let mut counts = [0usize; 4];
+        for &s in &self.intended {
+            counts[s as usize] += 1;
+        }
+        let n = self.len().max(1) as f64;
+        let mut out = [0.0; 4];
+        for s in ALL_STATES {
+            out[s.index() as usize] = counts[s.index() as usize] as f64 / n;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn small_array() -> (CellArray, ChipParams, StdRng) {
+        let params = ChipParams::default();
+        let mut rng = StdRng::seed_from_u64(99);
+        let array = CellArray::new(4, 256, &params, &mut rng);
+        (array, params, rng)
+    }
+
+    #[test]
+    fn new_array_is_erased() {
+        let (array, params, _) = small_array();
+        assert_eq!(array.len(), 4 * 256);
+        let op = OperatingPoint::default();
+        for (_, _, state, vth) in array.iter_cells(&params, op) {
+            assert_eq!(state, CellState::Er);
+            assert!(vth < params.refs.va + 20.0, "erased cell at {vth}");
+        }
+    }
+
+    #[test]
+    fn program_places_cells_near_state_means() {
+        let (mut array, params, mut rng) = small_array();
+        let states = vec![CellState::P2; 256];
+        array.program_wordline(&params, &mut rng, 1, &states, 0);
+        let op = OperatingPoint::default();
+        let mut sum = 0.0;
+        for bl in 0..256 {
+            assert_eq!(array.intended_state(1, bl), CellState::P2);
+            sum += array.current_vth(&params, 1, bl, op);
+        }
+        let mean = sum / 256.0;
+        assert!((mean - 290.0).abs() < 5.0, "P2 mean = {mean}");
+    }
+
+    #[test]
+    fn process_variation_survives_erase() {
+        let (mut array, params, mut rng) = small_array();
+        let s_before = array.susceptibility(2, 17);
+        array.erase(&params, &mut rng, 5);
+        assert_eq!(array.susceptibility(2, 17), s_before);
+    }
+
+    #[test]
+    fn disturb_dose_raises_voltages() {
+        let (mut array, params, mut rng) = small_array();
+        let states = vec![CellState::Er; 256];
+        array.program_wordline(&params, &mut rng, 0, &states, 8_000);
+        let quiet = OperatingPoint { pe_cycles: 8_000, age_days: 0.0, dose: 0.0 };
+        let noisy = OperatingPoint {
+            dose: params.dose_increment(1_000_000, 8_000, 512.0),
+            ..quiet
+        };
+        let mut raised = 0;
+        for bl in 0..256 {
+            let v0 = array.current_vth(&params, 0, bl, quiet);
+            let v1 = array.current_vth(&params, 0, bl, noisy);
+            assert!(v1 >= v0);
+            if v1 > v0 + 1.0 {
+                raised += 1;
+            }
+        }
+        assert!(raised > 64, "only {raised} cells moved >1 unit");
+    }
+
+    #[test]
+    fn retention_lowers_voltages() {
+        let (mut array, params, mut rng) = small_array();
+        let states = vec![CellState::P3; 256];
+        array.program_wordline(&params, &mut rng, 3, &states, 8_000);
+        let fresh = OperatingPoint { pe_cycles: 8_000, age_days: 0.0, dose: 0.0 };
+        let aged = OperatingPoint { age_days: 21.0, ..fresh };
+        for bl in 0..256 {
+            assert!(array.current_vth(&params, 3, bl, aged) < array.current_vth(&params, 3, bl, fresh));
+        }
+    }
+
+    #[test]
+    fn outliers_appear_at_expected_rate() {
+        let params = ChipParams::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut array = CellArray::new(16, 4096, &params, &mut rng);
+        let states = vec![CellState::P3; 4096];
+        for wl in 0..16 {
+            array.program_wordline(&params, &mut rng, wl, &states, 0);
+        }
+        let candidates = array.passthrough_candidates(params.outlier_base);
+        let n = array.len() as f64;
+        let rate = candidates.len() as f64 / n;
+        // Expected ≈ outlier_prob (all cells are P3 here), within Poisson noise.
+        assert!(
+            rate > 0.3 * params.outlier_prob && rate < 3.0 * params.outlier_prob,
+            "outlier rate {rate} vs prob {}",
+            params.outlier_prob
+        );
+    }
+
+    #[test]
+    fn state_fractions_sum_to_one() {
+        let (array, _, _) = small_array();
+        let f = array.state_fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(f[0], 1.0); // all erased
+    }
+}

@@ -1,0 +1,632 @@
+//! The chip: a collection of blocks behind a validated command interface
+//! mirroring what the paper's FPGA platform drives (erase, program, read,
+//! read-retry) plus the per-block Vpass control the paper proposes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bits;
+use crate::block::{Block, BlockStatus};
+use crate::error::FlashError;
+use crate::geometry::Geometry;
+use crate::params::ChipParams;
+use crate::state::{CellState, ALL_STATES};
+use crate::BitErrorStats;
+
+/// Result of a page read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Sensed page data (packed bits, one per bitline).
+    pub data: Vec<u8>,
+    /// Raw bit errors against the programmed data (what on-die ECC would be
+    /// asked to correct; its error count is what the tuning mechanism reads).
+    pub stats: BitErrorStats,
+    /// Bitlines that failed to conduct because an unread cell exceeded the
+    /// pass-through voltage (the paper's "number of 0's", §3 Step 2).
+    pub blocked_bitlines: u64,
+}
+
+/// Result of a read-retry sweep read (a read at shifted references).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryReadOutcome {
+    /// The reference shift applied (normalized volts).
+    pub shift: f64,
+    /// The read outcome at that shift.
+    pub outcome: ReadOutcome,
+}
+
+/// Histogram of threshold voltages across a block, broken down by intended
+/// state — the raw material of the paper's Fig. 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VthHistogram {
+    /// Width of each bin (normalized volts).
+    pub bin_width: f64,
+    /// Voltage at the left edge of bin 0.
+    pub min: f64,
+    /// Total cell count per bin.
+    pub counts: Vec<u64>,
+    /// Cell count per bin, split by intended state (ER, P1, P2, P3).
+    pub by_state: [Vec<u64>; 4],
+    /// Total number of cells binned.
+    pub total: u64,
+}
+
+impl VthHistogram {
+    /// Center voltage of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.min + (i as f64 + 0.5) * self.bin_width
+    }
+
+    /// Probability density estimate at bin `i` (integrates to 1 over all
+    /// states combined).
+    pub fn pdf(&self, i: usize) -> f64 {
+        self.counts[i] as f64 / (self.total.max(1) as f64 * self.bin_width)
+    }
+
+    /// Probability density estimate for a single state at bin `i`
+    /// (normalized by the total population, like the paper's Fig. 2).
+    pub fn pdf_state(&self, state: CellState, i: usize) -> f64 {
+        self.by_state[state.index() as usize][i] as f64
+            / (self.total.max(1) as f64 * self.bin_width)
+    }
+
+    /// Mean voltage of cells intended for `state`.
+    pub fn state_mean(&self, state: CellState) -> f64 {
+        let s = &self.by_state[state.index() as usize];
+        let (mut num, mut den) = (0.0, 0.0);
+        for (i, &c) in s.iter().enumerate() {
+            num += self.bin_center(i) * c as f64;
+            den += c as f64;
+        }
+        if den == 0.0 {
+            f64::NAN
+        } else {
+            num / den
+        }
+    }
+}
+
+/// The simulated MLC NAND flash chip.
+#[derive(Debug)]
+pub struct Chip {
+    geometry: Geometry,
+    params: ChipParams,
+    blocks: Vec<Block>,
+    rng: StdRng,
+}
+
+impl Chip {
+    /// Creates a chip with the given geometry and model parameters,
+    /// deterministically seeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has zero blocks or a bitline count that is not
+    /// a multiple of 8 (pages are exchanged as packed bytes).
+    pub fn new(geometry: Geometry, params: ChipParams, seed: u64) -> Self {
+        assert!(geometry.blocks > 0, "chip needs at least one block");
+        assert!(geometry.wordlines_per_block > 0, "blocks need wordlines");
+        assert_eq!(geometry.bitlines % 8, 0, "bitlines must be a multiple of 8");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let blocks = (0..geometry.blocks)
+            .map(|_| Block::new(geometry.wordlines_per_block, geometry.bitlines, &params, &mut rng))
+            .collect();
+        Self { geometry, params, blocks, rng }
+    }
+
+    /// The chip's geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// The chip's model parameters.
+    pub fn params(&self) -> &ChipParams {
+        &self.params
+    }
+
+    fn block_ref(&self, block: u32) -> Result<&Block, FlashError> {
+        self.geometry.check_block(block)?;
+        Ok(&self.blocks[block as usize])
+    }
+
+    fn block_mut(&mut self, block: u32) -> Result<&mut Block, FlashError> {
+        self.geometry.check_block(block)?;
+        Ok(&mut self.blocks[block as usize])
+    }
+
+    /// Status snapshot of a block.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `block` is out of range.
+    pub fn block_status(&self, block: u32) -> Result<BlockStatus, FlashError> {
+        Ok(self.block_ref(block)?.status())
+    }
+
+    /// Direct read-only access to a block (oracle inspection for experiments
+    /// and tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `block` is out of range.
+    pub fn block(&self, block: u32) -> Result<&Block, FlashError> {
+        self.block_ref(block)
+    }
+
+    /// Erases a block.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `block` is out of range.
+    pub fn erase_block(&mut self, block: u32) -> Result<(), FlashError> {
+        self.geometry.check_block(block)?;
+        let params = self.params.clone();
+        self.blocks[block as usize].erase(&params, &mut self.rng);
+        Ok(())
+    }
+
+    /// Adds `cycles` of prior wear to a block, leaving it erased (the
+    /// paper's pre-wear methodology).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `block` is out of range.
+    pub fn cycle_block(&mut self, block: u32, cycles: u64) -> Result<(), FlashError> {
+        self.geometry.check_block(block)?;
+        let params = self.params.clone();
+        self.blocks[block as usize].pre_wear(&params, &mut self.rng, cycles);
+        Ok(())
+    }
+
+    /// Programs a page with packed data bits.
+    ///
+    /// # Errors
+    ///
+    /// See [`Block::program_page`].
+    pub fn program_page(&mut self, block: u32, page: u32, data: &[u8]) -> Result<(), FlashError> {
+        self.geometry.check_block(block)?;
+        self.geometry.check_page(page)?;
+        let params = self.params.clone();
+        self.blocks[block as usize].program_page(&params, &mut self.rng, page, data)
+    }
+
+    /// Programs every page of a block with pseudo-random data derived from
+    /// `data_seed` (the paper's characterization setup). Returns the seed's
+    /// generator so callers can reproduce the data.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `block` is out of range or pages were already programmed.
+    pub fn program_block_random(&mut self, block: u32, data_seed: u64) -> Result<(), FlashError> {
+        self.geometry.check_block(block)?;
+        let mut data_rng = StdRng::seed_from_u64(data_seed);
+        let nbits = self.geometry.bits_per_page();
+        for page in 0..self.geometry.pages_per_block() {
+            let data = bits::random(&mut data_rng, nbits);
+            self.program_page(block, page, &data)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a page at the block's current references and Vpass; the read
+    /// disturbs the rest of the block.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is out of range.
+    pub fn read_page(&mut self, block: u32, page: u32) -> Result<ReadOutcome, FlashError> {
+        self.geometry.check_block(block)?;
+        let params = self.params.clone();
+        self.blocks[block as usize].read_page(&params, page, 0.0, true)
+    }
+
+    /// Reads a page at fully custom read references (each boundary moved
+    /// independently), as read-reference optimization requires.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is out of range.
+    pub fn read_page_with_refs(
+        &mut self,
+        block: u32,
+        page: u32,
+        refs: &crate::state::VoltageRefs,
+    ) -> Result<ReadOutcome, FlashError> {
+        self.geometry.check_block(block)?;
+        let params = self.params.clone();
+        self.blocks[block as usize].read_page_with_refs(&params, page, refs, true)
+    }
+
+    /// Read-retry: reads a page with all references shifted by `shift`
+    /// (the mechanism the paper uses to measure Vth distributions and to
+    /// mimic Vpass changes on real chips, §2).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is out of range.
+    pub fn read_retry(&mut self, block: u32, page: u32, shift: f64) -> Result<RetryReadOutcome, FlashError> {
+        self.geometry.check_block(block)?;
+        let params = self.params.clone();
+        let outcome = self.blocks[block as usize].read_page(&params, page, shift, true)?;
+        Ok(RetryReadOutcome { shift, outcome })
+    }
+
+    /// Applies the disturb effect of `n` reads spread over a block in one
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `block` is out of range.
+    pub fn apply_read_disturbs(&mut self, block: u32, n: u64) -> Result<(), FlashError> {
+        self.geometry.check_block(block)?;
+        let params = self.params.clone();
+        self.blocks[block as usize].apply_read_disturbs(&params, n);
+        Ok(())
+    }
+
+    /// Applies the disturb effect of `n` reads all targeting one wordline:
+    /// its direct neighbours receive concentrated extra disturb, the target
+    /// itself none (see [`Block::hammer_wordline`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is out of range.
+    pub fn hammer_wordline(&mut self, block: u32, wordline: u32, n: u64) -> Result<(), FlashError> {
+        self.geometry.check_block(block)?;
+        self.geometry.check_wordline(wordline)?;
+        let params = self.params.clone();
+        self.blocks[block as usize].hammer_wordline(&params, wordline, n);
+        Ok(())
+    }
+
+    /// Oracle RBER of one wordline's programmed pages.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is out of range.
+    pub fn wordline_rber(&self, block: u32, wordline: u32) -> Result<crate::BitErrorStats, FlashError> {
+        self.geometry.check_wordline(wordline)?;
+        Ok(self.block_ref(block)?.rber_oracle_wordline(&self.params, wordline))
+    }
+
+    /// Advances the retention clock of every block.
+    pub fn advance_days(&mut self, days: f64) {
+        for b in &mut self.blocks {
+            b.advance_days(days);
+        }
+    }
+
+    /// Advances the retention clock of one block.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `block` is out of range.
+    pub fn advance_block_days(&mut self, block: u32, days: f64) -> Result<(), FlashError> {
+        self.block_mut(block)?.advance_days(days);
+        Ok(())
+    }
+
+    /// Sets a block's pass-through voltage.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `block` is out of range or `vpass` is outside the supported
+    /// tuning range.
+    pub fn set_block_vpass(&mut self, block: u32, vpass: f64) -> Result<(), FlashError> {
+        self.geometry.check_block(block)?;
+        let params = self.params.clone();
+        self.blocks[block as usize].set_vpass(&params, vpass)
+    }
+
+    /// A block's current pass-through voltage.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `block` is out of range.
+    pub fn block_vpass(&self, block: u32) -> Result<f64, FlashError> {
+        Ok(self.block_ref(block)?.vpass())
+    }
+
+    /// Oracle RBER of a block (no disturb added by the measurement).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `block` is out of range.
+    pub fn block_rber(&self, block: u32) -> Result<BitErrorStats, FlashError> {
+        Ok(self.block_ref(block)?.rber_oracle(&self.params))
+    }
+
+    /// Threshold-voltage histogram of a block (oracle; the experimental
+    /// equivalent is an exhaustive read-retry sweep).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `block` is out of range.
+    pub fn vth_histogram(&self, block: u32, bin_width: f64) -> Result<VthHistogram, FlashError> {
+        let b = self.block_ref(block)?;
+        assert!(bin_width > 0.0, "bin width must be positive");
+        let min = -80.0;
+        let max = crate::params::NOMINAL_VPASS + 40.0;
+        let nbins = ((max - min) / bin_width).ceil() as usize;
+        let mut hist = VthHistogram {
+            bin_width,
+            min,
+            counts: vec![0; nbins],
+            by_state: [vec![0; nbins], vec![0; nbins], vec![0; nbins], vec![0; nbins]],
+            total: 0,
+        };
+        for (_, _, state, vth) in b.iter_cells_current(&self.params) {
+            let bin = ((vth - min) / bin_width).floor();
+            if bin >= 0.0 && (bin as usize) < nbins {
+                let i = bin as usize;
+                hist.counts[i] += 1;
+                hist.by_state[state.index() as usize][i] += 1;
+            }
+            hist.total += 1;
+        }
+        Ok(hist)
+    }
+
+    /// Measures per-cell threshold voltages of a wordline via a read-retry
+    /// sweep quantized at `step`. With `disturb`, the sweep's reads disturb
+    /// the block (as on real hardware).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is out of range.
+    pub fn measure_wordline_vth(
+        &mut self,
+        block: u32,
+        wordline: u32,
+        step: f64,
+        disturb: bool,
+    ) -> Result<Vec<f64>, FlashError> {
+        self.geometry.check_block(block)?;
+        self.geometry.check_wordline(wordline)?;
+        let params = self.params.clone();
+        self.blocks[block as usize].measure_wordline_vth(&params, wordline, step, disturb)
+    }
+
+    /// Ground-truth programmed bits of a page (evaluation oracle for
+    /// recovery experiments; a real controller does not have this).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is out of range or the page is unprogrammed.
+    pub fn intended_page_bits(&self, block: u32, page: u32) -> Result<Vec<u8>, FlashError> {
+        self.geometry.check_page(page)?;
+        let b = self.block_ref(block)?;
+        if !b.is_page_programmed(page) {
+            return Err(FlashError::PageNotProgrammed { page });
+        }
+        let addr = crate::geometry::PageAddr { block, page };
+        let wl = addr.wordline();
+        let kind = addr.kind();
+        let nbits = self.geometry.bits_per_page();
+        let mut data = bits::zeroed(nbits);
+        for bl in 0..self.geometry.bitlines {
+            let st = b.cells().intended_state(wl, bl);
+            let bit = match kind {
+                crate::geometry::PageKind::Lsb => st.lsb(),
+                crate::geometry::PageKind::Msb => st.msb(),
+            };
+            bits::set_bit(&mut data, bl as usize, bit);
+        }
+        Ok(data)
+    }
+
+    /// Refreshes a block: saves the logical data, erases, and reprograms it
+    /// (remapping-based refresh as assumed by the paper's 7-day interval).
+    /// Retention age, read count, and disturb dose reset; wear increments.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `block` is out of range.
+    pub fn refresh_block(&mut self, block: u32) -> Result<(), FlashError> {
+        self.geometry.check_block(block)?;
+        let pages: Vec<(u32, Vec<u8>)> = (0..self.geometry.pages_per_block())
+            .filter(|p| self.blocks[block as usize].is_page_programmed(*p))
+            .map(|p| (p, self.intended_page_bits(block, p).expect("programmed page")))
+            .collect();
+        self.erase_block(block)?;
+        for (page, data) in pages {
+            self.program_page(block, page, &data)?;
+        }
+        Ok(())
+    }
+
+    /// Uniformly random page index (helper for workload-driven tests).
+    pub fn random_page(&mut self) -> u32 {
+        self.rng.gen_range(0..self.geometry.pages_per_block())
+    }
+}
+
+/// Convenience: the four states with their default distribution parameters,
+/// for plotting figure legends.
+pub fn state_legend(params: &ChipParams) -> Vec<(CellState, f64, f64)> {
+    ALL_STATES
+        .iter()
+        .map(|&s| {
+            let d = params.states[s.index() as usize];
+            (s, d.mean, d.sigma)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::NOMINAL_VPASS;
+
+    fn test_chip() -> Chip {
+        Chip::new(Geometry::small(), ChipParams::default(), 1234)
+    }
+
+    #[test]
+    fn geometry_validation_on_construction() {
+        let result = std::panic::catch_unwind(|| {
+            Chip::new(
+                Geometry { blocks: 1, wordlines_per_block: 4, bitlines: 12 },
+                ChipParams::default(),
+                0,
+            )
+        });
+        assert!(result.is_err(), "non-multiple-of-8 bitlines must panic");
+    }
+
+    #[test]
+    fn out_of_range_addresses_error() {
+        let mut chip = test_chip();
+        assert!(chip.erase_block(99).is_err());
+        assert!(chip.read_page(0, 999).is_err());
+        assert!(chip.set_block_vpass(99, 500.0).is_err());
+        assert!(chip.block_status(99).is_err());
+    }
+
+    #[test]
+    fn program_and_read_round_trip() {
+        let mut chip = test_chip();
+        chip.program_block_random(0, 55).unwrap();
+        let truth = chip.intended_page_bits(0, 3).unwrap();
+        let out = chip.read_page(0, 3).unwrap();
+        assert_eq!(bits::hamming(&truth, &out.data), out.stats.errors);
+        assert!(out.stats.rate() < 1e-2);
+    }
+
+    #[test]
+    fn unprogrammed_page_oracle_errors() {
+        let chip = test_chip();
+        assert!(matches!(
+            chip.intended_page_bits(0, 0),
+            Err(FlashError::PageNotProgrammed { .. })
+        ));
+    }
+
+    #[test]
+    fn refresh_preserves_data_and_resets_clocks() {
+        let mut chip = test_chip();
+        chip.program_block_random(0, 9).unwrap();
+        let before = chip.intended_page_bits(0, 5).unwrap();
+        chip.apply_read_disturbs(0, 10_000).unwrap();
+        chip.advance_days(7.0);
+        let pe_before = chip.block_status(0).unwrap().pe_cycles;
+        chip.refresh_block(0).unwrap();
+        let st = chip.block_status(0).unwrap();
+        assert_eq!(st.pe_cycles, pe_before + 1);
+        assert_eq!(st.reads_since_erase, 0);
+        assert_eq!(st.age_days, 0.0);
+        let after = chip.intended_page_bits(0, 5).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut chip = Chip::new(Geometry::small(), ChipParams::default(), 777);
+            chip.cycle_block(1, 5_000).unwrap();
+            chip.program_block_random(1, 3).unwrap();
+            chip.apply_read_disturbs(1, 50_000).unwrap();
+            chip.block_rber(1).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn histogram_shows_four_modes() {
+        let mut chip = Chip::new(
+            Geometry { blocks: 1, wordlines_per_block: 16, bitlines: 2048 },
+            ChipParams::default(),
+            5,
+        );
+        chip.program_block_random(0, 1).unwrap();
+        let hist = chip.vth_histogram(0, 4.0).unwrap();
+        assert_eq!(hist.total as usize, 16 * 2048);
+        // State means near the programming targets.
+        assert!((hist.state_mean(CellState::Er) - 40.0).abs() < 6.0);
+        assert!((hist.state_mean(CellState::P1) - 160.0).abs() < 6.0);
+        assert!((hist.state_mean(CellState::P2) - 290.0).abs() < 6.0);
+        assert!((hist.state_mean(CellState::P3) - 420.0).abs() < 6.0);
+        // PDF integrates to ~1.
+        let integral: f64 = (0..hist.counts.len()).map(|i| hist.pdf(i) * hist.bin_width).sum();
+        assert!((integral - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn read_retry_shift_changes_classification() {
+        let mut chip = test_chip();
+        chip.program_block_random(0, 2).unwrap();
+        // A large negative shift reads many cells as higher states: errors rise.
+        let base = chip.read_retry(0, 0, 0.0).unwrap().outcome.stats.errors;
+        let shifted = chip.read_retry(0, 0, -60.0).unwrap().outcome.stats.errors;
+        assert!(shifted > base);
+    }
+
+    #[test]
+    fn disturb_then_rber_increases_with_reads_at_high_wear() {
+        let mut chip = Chip::new(Geometry::characterization(), ChipParams::default(), 99);
+        chip.cycle_block(0, 8_000).unwrap();
+        chip.program_block_random(0, 4).unwrap();
+        let r0 = chip.block_rber(0).unwrap().rate();
+        chip.apply_read_disturbs(0, 100_000).unwrap();
+        let r1 = chip.block_rber(0).unwrap().rate();
+        chip.apply_read_disturbs(0, 400_000).unwrap();
+        let r2 = chip.block_rber(0).unwrap().rate();
+        assert!(r0 < r1 && r1 < r2, "{r0} {r1} {r2}");
+    }
+
+    #[test]
+    fn vpass_at_nominal_by_default() {
+        let chip = test_chip();
+        assert_eq!(chip.block_vpass(0).unwrap(), NOMINAL_VPASS);
+    }
+
+    #[test]
+    fn state_legend_has_four_entries() {
+        let legend = state_legend(&ChipParams::default());
+        assert_eq!(legend.len(), 4);
+        assert_eq!(legend[0].0, CellState::Er);
+    }
+
+    #[test]
+    fn hammer_wordline_validates_addresses() {
+        let mut chip = test_chip();
+        assert!(chip.hammer_wordline(0, 0, 100).is_ok());
+        assert!(chip.hammer_wordline(99, 0, 100).is_err());
+        assert!(chip.hammer_wordline(0, 999, 100).is_err());
+        assert!(chip.wordline_rber(0, 999).is_err());
+    }
+
+    #[test]
+    fn hammering_counts_as_reads() {
+        let mut chip = test_chip();
+        chip.program_block_random(0, 1).unwrap();
+        chip.hammer_wordline(0, 2, 5_000).unwrap();
+        assert_eq!(chip.block_status(0).unwrap().reads_since_erase, 5_000);
+    }
+
+    #[test]
+    fn custom_refs_read_matches_default_at_defaults() {
+        let mut chip = test_chip();
+        chip.program_block_random(0, 3).unwrap();
+        let default_refs = chip.params().refs;
+        let a = chip.read_page_with_refs(0, 4, &default_refs).unwrap();
+        let b = chip.read_page(0, 4).unwrap();
+        assert_eq!(a.data, b.data);
+        // Wildly wrong references produce many errors.
+        let bad = crate::state::VoltageRefs::new(10.0, 20.0, 30.0);
+        let c = chip.read_page_with_refs(0, 4, &bad).unwrap();
+        assert!(c.stats.errors > a.stats.errors + 100);
+    }
+
+    #[test]
+    fn wordline_rber_consistent_with_block_rber() {
+        let mut chip = Chip::new(Geometry::characterization(), ChipParams::default(), 8);
+        chip.cycle_block(0, 10_000).unwrap();
+        chip.program_block_random(0, 8).unwrap();
+        chip.apply_read_disturbs(0, 200_000).unwrap();
+        let total: crate::BitErrorStats =
+            (0..64).map(|wl| chip.wordline_rber(0, wl).unwrap()).sum();
+        let block = chip.block_rber(0).unwrap();
+        assert_eq!(total, block, "per-wordline sums must equal the block oracle");
+    }
+}

@@ -1,0 +1,146 @@
+//! Numerical helpers: Gaussian tail functions and distribution sampling.
+//!
+//! The standard library does not provide `erf`, so a rational-approximation
+//! implementation (Abramowitz & Stegun 7.1.26, |ε| < 1.5e-7) is included.
+//! That accuracy is far below the Monte-Carlo noise floor of any experiment
+//! in this reproduction.
+
+/// Error function via the Abramowitz & Stegun 7.1.26 rational approximation.
+///
+/// Maximum absolute error ~1.5e-7 over the real line.
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal cumulative distribution function.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal upper-tail probability `Q(z) = P(Z > z)`.
+///
+/// For large `z` the complementary form of [`erf`] loses precision, so an
+/// asymptotic expansion is used beyond `z = 6`.
+pub fn normal_q(z: f64) -> f64 {
+    if z > 6.0 {
+        // Asymptotic upper tail: phi(z)/z * (1 - 1/z^2 + 3/z^4).
+        let phi = (-0.5 * z * z).exp() / (std::f64::consts::TAU).sqrt();
+        let z2 = z * z;
+        phi / z * (1.0 - 1.0 / z2 + 3.0 / (z2 * z2))
+    } else {
+        1.0 - normal_cdf(z)
+    }
+}
+
+/// Standard normal probability density function.
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (std::f64::consts::TAU).sqrt()
+}
+
+/// Density at `x` of a normal distribution with the given mean and sigma.
+pub fn gaussian_pdf(x: f64, mean: f64, sigma: f64) -> f64 {
+    normal_pdf((x - mean) / sigma) / sigma
+}
+
+/// `ln(1 + x)` kept as a named helper because the analytic read-disturb model
+/// uses it as its soft-saturation primitive (see `AnalyticParams::rd_sat`).
+pub fn ln1p(x: f64) -> f64 {
+    x.ln_1p()
+}
+
+/// Intersection point of two Gaussian PDFs with `mean_lo < mean_hi`.
+///
+/// Solves `N(x; lo) = N(x; hi)` for the crossing between the two means; this
+/// is the optimal read-reference position between two adjacent states and the
+/// `ΔVref` classification threshold used by Read Disturb Recovery (paper
+/// §5.2). Falls back to the midpoint when sigmas are equal (closed form
+/// degenerates).
+pub fn gaussian_intersection(mean_lo: f64, sigma_lo: f64, mean_hi: f64, sigma_hi: f64) -> f64 {
+    assert!(mean_lo < mean_hi, "means must be ordered");
+    if (sigma_lo - sigma_hi).abs() < 1e-12 {
+        return 0.5 * (mean_lo + mean_hi);
+    }
+    // Quadratic a x^2 + b x + c = 0 from equating log-densities.
+    let (s1, s2) = (sigma_lo * sigma_lo, sigma_hi * sigma_hi);
+    let a = 1.0 / s1 - 1.0 / s2;
+    let b = -2.0 * (mean_lo / s1 - mean_hi / s2);
+    let c = mean_lo * mean_lo / s1 - mean_hi * mean_hi / s2 + 2.0 * (sigma_lo / sigma_hi).ln();
+    let disc = (b * b - 4.0 * a * c).max(0.0);
+    let r1 = (-b + disc.sqrt()) / (2.0 * a);
+    let r2 = (-b - disc.sqrt()) / (2.0 * a);
+    // Pick the root between the means; otherwise fall back to the midpoint.
+    let mid = 0.5 * (mean_lo + mean_hi);
+    [r1, r2]
+        .into_iter()
+        .find(|r| *r > mean_lo && *r < mean_hi)
+        .unwrap_or(mid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-9);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_91).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for z in [-3.0, -1.5, -0.2, 0.0, 0.7, 2.5] {
+            let s = normal_cdf(z) + normal_cdf(-z);
+            assert!((s - 1.0).abs() < 1e-6, "z={z}: {s}");
+        }
+    }
+
+    #[test]
+    fn q_function_values() {
+        assert!((normal_q(0.0) - 0.5).abs() < 1e-7);
+        // Q(3) = 1.3499e-3
+        assert!((normal_q(3.0) - 1.3499e-3).abs() < 1e-5);
+        // Deep tail should be finite, positive, decreasing.
+        let q7 = normal_q(7.0);
+        let q8 = normal_q(8.0);
+        assert!(q7 > q8 && q8 > 0.0);
+        assert!((q7 - 1.28e-12).abs() < 1e-13);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        // Trapezoidal integration of the Gaussian PDF.
+        let (mean, sigma) = (100.0, 15.0);
+        let mut sum = 0.0;
+        let step = 0.05;
+        let mut x = mean - 8.0 * sigma;
+        while x < mean + 8.0 * sigma {
+            sum += gaussian_pdf(x, mean, sigma) * step;
+            x += step;
+        }
+        assert!((sum - 1.0).abs() < 1e-4, "integral = {sum}");
+    }
+
+    #[test]
+    fn intersection_between_means_equal_sigma() {
+        let x = gaussian_intersection(40.0, 10.0, 160.0, 10.0);
+        assert!((x - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersection_shifts_toward_narrow_distribution() {
+        // A wider low distribution pushes the crossing toward the high one.
+        let x = gaussian_intersection(40.0, 20.0, 160.0, 10.0);
+        assert!(x > 100.0 && x < 160.0, "x = {x}");
+        let pdf_lo = gaussian_pdf(x, 40.0, 20.0);
+        let pdf_hi = gaussian_pdf(x, 160.0, 10.0);
+        assert!((pdf_lo - pdf_hi).abs() / pdf_hi < 1e-6);
+    }
+}

@@ -1,0 +1,31 @@
+//! Cell-to-cell program interference: programming a wordline couples
+//! capacitively into its neighbours, broadening their distributions.
+//!
+//! The paper treats interference as a separate noise source ([11, 14]); in
+//! this model it is a constant extra Gaussian sigma folded into the
+//! programming distribution (`ChipParams::program_interference_sigma`),
+//! applied in quadrature by [`crate::ChipParams::state_dist`]. This module
+//! documents the modelling choice and verifies the composition.
+
+#[cfg(test)]
+mod tests {
+    use crate::params::ChipParams;
+    use crate::state::CellState;
+
+    #[test]
+    fn interference_broadens_in_quadrature() {
+        let mut p = ChipParams::default();
+        p.program_interference_sigma = 0.0;
+        let clean = p.state_dist(CellState::P1, 0).sigma;
+        p.program_interference_sigma = 5.0;
+        let noisy = p.state_dist(CellState::P1, 0).sigma;
+        assert!((noisy - clean.hypot(5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interference_is_small_relative_to_program_noise() {
+        let p = ChipParams::default();
+        let base = p.states[CellState::P1.index() as usize].sigma;
+        assert!(p.program_interference_sigma < 0.25 * base);
+    }
+}

@@ -1,0 +1,285 @@
+//! Chip model parameters, with defaults calibrated to the paper's figures.
+//!
+//! Every constant here is pinned by a specific observation in the DSN 2015
+//! paper (see `DESIGN.md` §4 and `EXPERIMENTS.md` for the paper-vs-measured
+//! record). The voltage scale is the paper's normalization: GND = 0 and the
+//! nominal pass-through voltage = 512 (§2).
+
+use crate::state::{CellState, VoltageRefs};
+
+/// The nominal pass-through voltage on the normalized scale (paper §2:
+/// "the nominal value of Vpass is equal to 512 in our normalized scale").
+pub const NOMINAL_VPASS: f64 = 512.0;
+
+/// Gaussian programming-target distribution for one cell state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateParams {
+    /// Mean threshold voltage right after programming (fresh block).
+    pub mean: f64,
+    /// Standard deviation right after programming (fresh block).
+    pub sigma: f64,
+}
+
+/// Full parameter set of the simulated chip.
+///
+/// Construct via [`ChipParams::default`] (calibrated 2Y-nm MLC model) and
+/// adjust individual fields for ablation studies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipParams {
+    /// Programming distributions for ER, P1, P2, P3 (index = state index).
+    pub states: [StateParams; 4],
+    /// Default read-reference voltages.
+    pub refs: VoltageRefs,
+    /// Lowest pass-through voltage the tuning interface accepts. Real
+    /// read-retry ranges bound how far Vref (and hence the mimicked Vpass)
+    /// can move; the paper explores down to 94% of nominal (Fig. 4).
+    pub min_vpass: f64,
+
+    // --- P/E cycling noise -------------------------------------------------
+    /// Coefficient of the P/E-cycling raw bit error rate
+    /// `rber_pe = pe_rber_coeff * (PE/1000)^pe_rber_exp`.
+    ///
+    /// Calibrated to Fig. 3's intercepts (~0.5e-3 at 8K P/E) and Fig. 6's
+    /// day-0 level.
+    pub pe_rber_coeff: f64,
+    /// Exponent of the P/E-cycling error law (see [`ChipParams::pe_rber_coeff`]).
+    pub pe_rber_exp: f64,
+    /// Mild distribution widening with wear:
+    /// `sigma(PE) = sigma0 * (1 + widen_coeff * (PE/1000)^widen_exp)`.
+    /// Kept subdominant to the misprogram term so the analytic and
+    /// Monte-Carlo error floors agree; visually reproduces the broadening in
+    /// Fig. 2a.
+    pub pe_sigma_widen_coeff: f64,
+    /// Exponent of the widening law.
+    pub pe_sigma_widen_exp: f64,
+
+    // --- Retention loss ----------------------------------------------------
+    /// Base retention-loss rate:
+    /// `drop = leak_i * vth * retention_rate * (PE/1000)^retention_pe_exp
+    ///  * days^retention_time_exp`.
+    ///
+    /// Calibrated so a block with 8K P/E cycles accumulates ≈0.35e-3 RBER of
+    /// retention errors by day 21 (Fig. 6).
+    pub retention_rate: f64,
+    /// Wear acceleration of retention loss.
+    pub retention_pe_exp: f64,
+    /// Sub-linear time exponent of retention loss.
+    pub retention_time_exp: f64,
+    /// Log-normal sigma of the per-cell leak-rate factor (fast- vs
+    /// slow-leaking cells; what the authors' earlier RFR mechanism exploits).
+    pub retention_leak_sigma_ln: f64,
+
+    // --- Read disturb ------------------------------------------------------
+    /// Per-read disturb dose coefficient. A cell's threshold voltage after a
+    /// cumulative dose `D` is `kappa * ln(exp(v0/kappa) + alpha * s_i * D)`
+    /// — the weak-programming closed form: lower-Vth cells shift more
+    /// (Fig. 2 finding), and the shift grows logarithmically with reads.
+    pub rd_alpha: f64,
+    /// Tunneling softness `kappa` of the closed form (normalized volts).
+    /// Anchored by Fig. 2b: the ER peak shifts ≈10 units after 1M reads.
+    pub rd_kappa: f64,
+    /// Wear exponent of the disturb slope: the Fig. 3 slope table follows
+    /// `slope ∝ (PE/2000)^1.45` almost exactly.
+    pub rd_pe_exp: f64,
+    /// Reference P/E count of the slope law (2K, the table's first row).
+    pub rd_pe_ref: f64,
+    /// Exponential Vpass sensitivity in normalized volts per e-fold:
+    /// a 2% Vpass reduction halves the total RBER at 100K reads (§2.3), and
+    /// each 1% multiplies tolerable reads ≈3.6x (Fig. 4 spacing).
+    pub rd_vpass_lambda: f64,
+    /// Pareto tail exponent of per-cell disturb susceptibility. Process
+    /// variation makes a small population of cells disturb much faster —
+    /// the disturb-prone cells RDR identifies (§5.2). The exponent also sets
+    /// the sub-linear saturation of disturb RBER beyond ~1M reads (Fig. 10).
+    pub rd_susceptibility_pareto_a: f64,
+    /// Upper cap on the susceptibility factor (keeps moments finite).
+    pub rd_susceptibility_cap: f64,
+    /// Extra disturb dose received by the *direct neighbours* of a
+    /// repeatedly-read wordline, as a multiple of the uniform per-read
+    /// dose. Models the concentrated read disturb effect reported for
+    /// mid-1X TLC parts (paper §5, Zambelli et al. [97]); neighbours of a
+    /// hammered page accumulate `1 + rd_neighbor_boost` times the dose of
+    /// distant wordlines.
+    pub rd_neighbor_boost: f64,
+
+    // --- Over-programmed outliers (pass-through errors) --------------------
+    /// Probability that a P3 cell lands in the over-programmed exponential
+    /// tail; these are the cells that block bitlines when Vpass is relaxed
+    /// (Fig. 5).
+    pub outlier_prob: f64,
+    /// Lower edge of the outlier tail (normalized volts).
+    pub outlier_base: f64,
+    /// Exponential scale of the outlier tail; sets the slope of Fig. 5's
+    /// additional-RBER-vs-Vpass curves.
+    pub outlier_scale: f64,
+    /// Hard upper cap of the outlier tail, strictly below the nominal Vpass:
+    /// program-verify guarantees no stored voltage reaches the nominal
+    /// pass-through voltage, so *some* Vpass relaxation is always free of
+    /// read errors (paper §2.4 / Fig. 5), and the 4/3/2/1/0% staircase of
+    /// Fig. 6 terminates at "no reduction" only at extreme retention age.
+    pub outlier_cap: f64,
+
+    // --- Program interference ----------------------------------------------
+    /// Extra Gaussian sigma added in quadrature at program time, modelling
+    /// cell-to-cell program interference from neighbouring wordlines.
+    pub program_interference_sigma: f64,
+}
+
+impl ChipParams {
+    /// Programming distribution of a state at a given wear level.
+    pub fn state_dist(&self, state: CellState, pe_cycles: u64) -> StateParams {
+        let base = self.states[state.index() as usize];
+        let widen = 1.0
+            + self.pe_sigma_widen_coeff * (pe_cycles as f64 / 1000.0).powf(self.pe_sigma_widen_exp);
+        let sigma = (base.sigma * widen).hypot(self.program_interference_sigma);
+        StateParams { mean: base.mean, sigma }
+    }
+
+    /// The P/E-cycling component of RBER (program/erase noise floor).
+    pub fn rber_pe(&self, pe_cycles: u64) -> f64 {
+        self.pe_rber_coeff * (pe_cycles as f64 / 1000.0).powf(self.pe_rber_exp)
+    }
+
+    /// Probability that a programmed cell is misplaced into an adjacent
+    /// state. Each misprogrammed cell contributes one erroneous bit out of
+    /// its two, so this is twice the per-bit P/E error rate.
+    pub fn misprogram_prob(&self, pe_cycles: u64) -> f64 {
+        (2.0 * self.rber_pe(pe_cycles)).min(0.05)
+    }
+
+    /// Retention-loss rate multiplier at a given wear level (per unit
+    /// `days^retention_time_exp`, as a fraction of the cell's Vth).
+    pub fn retention_rate_at(&self, pe_cycles: u64) -> f64 {
+        self.retention_rate * (pe_cycles as f64 / 1000.0).powf(self.retention_pe_exp)
+    }
+
+    /// Read-disturb wear factor entering the dose accumulation.
+    ///
+    /// The *observed* error slope scales as `(PE/2000)^rd_pe_exp` (Fig. 3
+    /// slope table); because errors scale as `dose^a` with `a` the
+    /// susceptibility Pareto exponent, the dose itself must carry the
+    /// exponent `rd_pe_exp / a`.
+    pub fn rd_wear_factor(&self, pe_cycles: u64) -> f64 {
+        let a = self.rd_susceptibility_pareto_a;
+        (pe_cycles.max(1) as f64 / self.rd_pe_ref).powf(self.rd_pe_exp / a)
+    }
+
+    /// Vpass factor entering the dose accumulation (see
+    /// [`ChipParams::rd_wear_factor`] for why the Pareto exponent divides).
+    pub fn rd_vpass_factor(&self, vpass: f64) -> f64 {
+        let a = self.rd_susceptibility_pareto_a;
+        ((vpass - NOMINAL_VPASS) / (self.rd_vpass_lambda * a)).exp()
+    }
+
+    /// Dose contributed by `n` reads at the given operating point.
+    pub fn dose_increment(&self, n: u64, pe_cycles: u64, vpass: f64) -> f64 {
+        n as f64 * self.rd_wear_factor(pe_cycles) * self.rd_vpass_factor(vpass)
+    }
+}
+
+impl Default for ChipParams {
+    /// The calibrated 2Y-nm MLC model (see `DESIGN.md` §4).
+    fn default() -> Self {
+        Self {
+            states: [
+                StateParams { mean: 40.0, sigma: 15.0 },  // ER
+                StateParams { mean: 160.0, sigma: 13.0 }, // P1
+                StateParams { mean: 290.0, sigma: 13.0 }, // P2
+                StateParams { mean: 420.0, sigma: 12.0 }, // P3
+            ],
+            refs: VoltageRefs::default(),
+            min_vpass: 0.90 * NOMINAL_VPASS,
+
+            pe_rber_coeff: 1.6e-5,
+            pe_rber_exp: 1.6,
+            pe_sigma_widen_coeff: 0.02,
+            pe_sigma_widen_exp: 0.7,
+
+            retention_rate: 1.6e-4,
+            retention_pe_exp: 1.2,
+            retention_time_exp: 0.85,
+            retention_leak_sigma_ln: 0.75,
+
+            rd_alpha: 1.1e-7,
+            rd_kappa: 25.0,
+            rd_pe_exp: 1.45,
+            rd_pe_ref: 2000.0,
+            rd_vpass_lambda: 4.0,
+            rd_susceptibility_pareto_a: 0.85,
+            rd_susceptibility_cap: 1.0e5,
+            rd_neighbor_boost: 1.5,
+
+            outlier_prob: 7.6e-4,
+            outlier_base: 460.0,
+            outlier_scale: 12.0,
+            outlier_cap: 508.0,
+
+            program_interference_sigma: 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_states_are_ordered_below_vpass() {
+        let p = ChipParams::default();
+        for w in p.states.windows(2) {
+            assert!(w[0].mean < w[1].mean);
+        }
+        let p3 = p.states[3];
+        assert!(p3.mean + 4.0 * p3.sigma < NOMINAL_VPASS);
+        assert!(p.refs.va > p.states[0].mean && p.refs.va < p.states[1].mean);
+        assert!(p.refs.vc > p.states[2].mean && p.refs.vc < p.states[3].mean);
+    }
+
+    #[test]
+    fn rber_pe_matches_fig3_intercept_scale() {
+        let p = ChipParams::default();
+        // ~0.5e-3 at 8K P/E (Fig. 3 / Fig. 6 level).
+        let r = p.rber_pe(8_000);
+        assert!(r > 3e-4 && r < 7e-4, "rber_pe(8K) = {r}");
+        // Monotone in wear.
+        assert!(p.rber_pe(15_000) > p.rber_pe(8_000));
+        assert!(p.rber_pe(2_000) < p.rber_pe(3_000));
+    }
+
+    #[test]
+    fn dose_scales_with_wear_and_vpass() {
+        let p = ChipParams::default();
+        let base = p.dose_increment(1000, 8_000, NOMINAL_VPASS);
+        assert!(p.dose_increment(1000, 15_000, NOMINAL_VPASS) > base);
+        assert!(p.dose_increment(1000, 8_000, 0.98 * NOMINAL_VPASS) < base);
+        assert!((p.dose_increment(2000, 8_000, NOMINAL_VPASS) / base - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observed_slope_scaling_matches_table() {
+        // The wear factor is constructed so that slope ∝ dose^a reproduces
+        // (PE/2000)^1.45; verify the composition.
+        let p = ChipParams::default();
+        let a = p.rd_susceptibility_pareto_a;
+        let ratio = (p.rd_wear_factor(15_000) / p.rd_wear_factor(2_000)).powf(a);
+        let expected = (15_000.0f64 / 2_000.0).powf(1.45); // = 18.6x, table 1.9e-8/1.0e-9
+        assert!((ratio / expected - 1.0).abs() < 1e-9, "{ratio} vs {expected}");
+    }
+
+    #[test]
+    fn sigma_widens_mildly_with_wear() {
+        let p = ChipParams::default();
+        let fresh = p.state_dist(CellState::Er, 0);
+        let worn = p.state_dist(CellState::Er, 10_000);
+        assert!(worn.sigma > fresh.sigma);
+        assert!(worn.sigma < fresh.sigma * 1.4, "widening should stay mild");
+        assert_eq!(worn.mean, fresh.mean);
+    }
+
+    #[test]
+    fn misprogram_prob_clamped() {
+        let p = ChipParams::default();
+        assert!(p.misprogram_prob(1_000_000) <= 0.05);
+        assert!(p.misprogram_prob(8_000) > 0.0);
+    }
+}

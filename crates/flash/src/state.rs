@@ -1,0 +1,291 @@
+//! MLC cell states, the Gray-coded bit mapping, and read-reference voltages.
+//!
+//! A 2-bit MLC cell stores one of four states ordered by threshold voltage:
+//! `ER < P1 < P2 < P3`. The paper's Figure 1 gives the bit assignment as the
+//! tuple `(LSB, MSB)`: ER = 11, P1 = 10, P2 = 00, P3 = 01 — a Gray code, so a
+//! shift into an *adjacent* state corrupts exactly one of the two bits.
+//!
+//! Reading compares the cell's threshold voltage against read-reference
+//! voltages `Va < Vb < Vc` (Fig. 1):
+//! * the **LSB page** needs a single comparison at `Vb` (LSB = 1 below `Vb`);
+//! * the **MSB page** needs `Va` and `Vc` (MSB = 1 outside `[Va, Vc)`).
+
+use crate::params::NOMINAL_VPASS;
+
+/// The four programmable states of a 2-bit MLC cell, in threshold-voltage
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum CellState {
+    /// Erased state, lowest threshold voltage. Stores `(LSB, MSB) = (1, 1)`.
+    Er = 0,
+    /// First programmed state. Stores `(1, 0)`.
+    P1 = 1,
+    /// Second programmed state. Stores `(0, 0)`.
+    P2 = 2,
+    /// Third programmed state, highest threshold voltage. Stores `(0, 1)`.
+    P3 = 3,
+}
+
+/// All states in threshold-voltage order.
+pub const ALL_STATES: [CellState; 4] = [CellState::Er, CellState::P1, CellState::P2, CellState::P3];
+
+impl CellState {
+    /// Builds a state from its index in threshold-voltage order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 3`.
+    pub fn from_index(index: u8) -> Self {
+        ALL_STATES[index as usize]
+    }
+
+    /// Index of the state in threshold-voltage order (ER = 0 .. P3 = 3).
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Builds the state storing the given `(lsb, msb)` pair.
+    pub fn from_bits(lsb: bool, msb: bool) -> Self {
+        match (lsb, msb) {
+            (true, true) => CellState::Er,
+            (true, false) => CellState::P1,
+            (false, false) => CellState::P2,
+            (false, true) => CellState::P3,
+        }
+    }
+
+    /// The LSB stored by this state (paper Fig. 1 Gray map).
+    pub fn lsb(self) -> bool {
+        matches!(self, CellState::Er | CellState::P1)
+    }
+
+    /// The MSB stored by this state (paper Fig. 1 Gray map).
+    pub fn msb(self) -> bool {
+        matches!(self, CellState::Er | CellState::P3)
+    }
+
+    /// Both bits as a `(lsb, msb)` tuple.
+    pub fn bits(self) -> (bool, bool) {
+        (self.lsb(), self.msb())
+    }
+
+    /// Number of bit positions differing between the two states' stored
+    /// values (0, 1 or 2). Adjacent states always differ by exactly one bit.
+    pub fn bit_errors_vs(self, other: CellState) -> u64 {
+        let (l1, m1) = self.bits();
+        let (l2, m2) = other.bits();
+        u64::from(l1 != l2) + u64::from(m1 != m2)
+    }
+
+    /// The next-higher state, if any.
+    pub fn up(self) -> Option<CellState> {
+        match self {
+            CellState::Er => Some(CellState::P1),
+            CellState::P1 => Some(CellState::P2),
+            CellState::P2 => Some(CellState::P3),
+            CellState::P3 => None,
+        }
+    }
+
+    /// The next-lower state, if any.
+    pub fn down(self) -> Option<CellState> {
+        match self {
+            CellState::Er => None,
+            CellState::P1 => Some(CellState::Er),
+            CellState::P2 => Some(CellState::P1),
+            CellState::P3 => Some(CellState::P2),
+        }
+    }
+}
+
+impl std::fmt::Display for CellState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            CellState::Er => "ER",
+            CellState::P1 => "P1",
+            CellState::P2 => "P2",
+            CellState::P3 => "P3",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A set of read-reference voltages `Va < Vb < Vc` on the normalized scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageRefs {
+    /// Reference separating ER from P1.
+    pub va: f64,
+    /// Reference separating P1 from P2 (the single LSB-read reference).
+    pub vb: f64,
+    /// Reference separating P2 from P3.
+    pub vc: f64,
+}
+
+impl VoltageRefs {
+    /// Creates a reference set, validating the ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `va < vb < vc`.
+    pub fn new(va: f64, vb: f64, vc: f64) -> Self {
+        assert!(va < vb && vb < vc, "references must satisfy va < vb < vc");
+        Self { va, vb, vc }
+    }
+
+    /// Classifies a threshold voltage into the state *region* it currently
+    /// occupies under these references.
+    pub fn classify(&self, vth: f64) -> CellState {
+        if vth < self.va {
+            CellState::Er
+        } else if vth < self.vb {
+            CellState::P1
+        } else if vth < self.vc {
+            CellState::P2
+        } else {
+            CellState::P3
+        }
+    }
+
+    /// Senses the LSB of a cell: a single comparison at `Vb`.
+    pub fn sense_lsb(&self, vth: f64) -> bool {
+        vth < self.vb
+    }
+
+    /// Senses the MSB of a cell: comparisons at `Va` and `Vc`.
+    pub fn sense_msb(&self, vth: f64) -> bool {
+        vth < self.va || vth >= self.vc
+    }
+
+    /// Returns a copy with every reference shifted by `delta` (the
+    /// read-retry primitive: real chips step all references of a wordline).
+    pub fn shifted(&self, delta: f64) -> Self {
+        Self {
+            va: self.va + delta,
+            vb: self.vb + delta,
+            vc: self.vc + delta,
+        }
+    }
+}
+
+impl Default for VoltageRefs {
+    /// Default references positioned between the default state means
+    /// (see [`crate::ChipParams`]).
+    fn default() -> Self {
+        Self {
+            va: 100.0,
+            vb: 225.0,
+            vc: 355.0,
+        }
+    }
+}
+
+/// A voltage region on the normalized scale, used to describe where a state's
+/// distribution nominally lives (for plots and assertions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateRegion {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge.
+    pub hi: f64,
+}
+
+impl StateRegion {
+    /// Region assigned to `state` under the given references, with the upper
+    /// state bounded above by the nominal `Vpass`.
+    pub fn of(state: CellState, refs: &VoltageRefs) -> Self {
+        match state {
+            CellState::Er => StateRegion { lo: f64::NEG_INFINITY, hi: refs.va },
+            CellState::P1 => StateRegion { lo: refs.va, hi: refs.vb },
+            CellState::P2 => StateRegion { lo: refs.vb, hi: refs.vc },
+            CellState::P3 => StateRegion { lo: refs.vc, hi: NOMINAL_VPASS },
+        }
+    }
+
+    /// Whether a voltage falls inside the region.
+    pub fn contains(&self, vth: f64) -> bool {
+        vth >= self.lo && vth < self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_map_matches_paper_figure_1() {
+        assert_eq!(CellState::Er.bits(), (true, true));
+        assert_eq!(CellState::P1.bits(), (true, false));
+        assert_eq!(CellState::P2.bits(), (false, false));
+        assert_eq!(CellState::P3.bits(), (false, true));
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for s in ALL_STATES {
+            let (l, m) = s.bits();
+            assert_eq!(CellState::from_bits(l, m), s);
+            assert_eq!(CellState::from_index(s.index()), s);
+        }
+    }
+
+    #[test]
+    fn adjacent_states_differ_by_one_bit() {
+        for s in ALL_STATES {
+            if let Some(up) = s.up() {
+                assert_eq!(s.bit_errors_vs(up), 1, "{s} -> {up}");
+                assert_eq!(up.down(), Some(s));
+            }
+        }
+        // Non-adjacent ER <-> P2 differ in exactly the LSB? ER=11, P2=00: two bits.
+        assert_eq!(CellState::Er.bit_errors_vs(CellState::P2), 2);
+        assert_eq!(CellState::P1.bit_errors_vs(CellState::P3), 2);
+        assert_eq!(CellState::Er.bit_errors_vs(CellState::Er), 0);
+    }
+
+    #[test]
+    fn classify_respects_reference_ordering() {
+        let refs = VoltageRefs::default();
+        assert_eq!(refs.classify(0.0), CellState::Er);
+        assert_eq!(refs.classify(150.0), CellState::P1);
+        assert_eq!(refs.classify(300.0), CellState::P2);
+        assert_eq!(refs.classify(450.0), CellState::P3);
+        // Boundary semantics: exactly Va reads as P1.
+        assert_eq!(refs.classify(refs.va), CellState::P1);
+    }
+
+    #[test]
+    fn sensing_matches_classification() {
+        let refs = VoltageRefs::default();
+        for vth in [-20.0, 40.0, 99.9, 100.1, 224.9, 225.1, 354.9, 355.1, 470.0] {
+            let state = refs.classify(vth);
+            assert_eq!(refs.sense_lsb(vth), state.lsb(), "lsb at {vth}");
+            assert_eq!(refs.sense_msb(vth), state.msb(), "msb at {vth}");
+        }
+    }
+
+    #[test]
+    fn shifted_refs_preserve_ordering() {
+        let refs = VoltageRefs::default().shifted(-30.0);
+        assert!(refs.va < refs.vb && refs.vb < refs.vc);
+        assert!((refs.va - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "va < vb < vc")]
+    fn invalid_refs_panic() {
+        let _ = VoltageRefs::new(200.0, 100.0, 300.0);
+    }
+
+    #[test]
+    fn state_regions_partition_scale() {
+        let refs = VoltageRefs::default();
+        for s in ALL_STATES {
+            let r = StateRegion::of(s, &refs);
+            assert!(r.lo < r.hi);
+        }
+        assert!(StateRegion::of(CellState::Er, &refs).contains(-10.0));
+        assert!(StateRegion::of(CellState::P3, &refs).contains(400.0));
+        assert!(!StateRegion::of(CellState::P3, &refs).contains(513.0));
+    }
+}

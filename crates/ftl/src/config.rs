@@ -1,0 +1,109 @@
+//! SSD configuration.
+
+use rd_flash::{ChipParams, Geometry};
+
+/// Configuration of the simulated SSD.
+#[derive(Debug, Clone)]
+pub struct SsdConfig {
+    /// Flash chip geometry.
+    pub geometry: Geometry,
+    /// Flash model parameters.
+    pub chip_params: ChipParams,
+    /// Fraction of physical capacity hidden from the host (over-provisioning
+    /// for garbage collection headroom). Typical consumer SSDs: ~7%.
+    pub overprovision: f64,
+    /// Garbage collection starts when free blocks fall to this count.
+    pub gc_free_threshold: u32,
+    /// Remapping-based refresh interval in days (the paper assumes 7).
+    pub refresh_interval_days: f64,
+    /// ECC capability line: the provisioned tolerable RBER (paper: 1e-3).
+    pub ecc_capability_rber: f64,
+    /// Chip RNG seed (full determinism).
+    pub seed: u64,
+}
+
+impl SsdConfig {
+    /// A small configuration for tests and examples: fast to simulate but
+    /// with every mechanism active.
+    pub fn small_test() -> Self {
+        Self {
+            geometry: Geometry { blocks: 16, wordlines_per_block: 8, bitlines: 1024 },
+            chip_params: ChipParams::default(),
+            overprovision: 0.20,
+            gc_free_threshold: 2,
+            refresh_interval_days: 7.0,
+            ecc_capability_rber: 2.0e-3, // small pages need a coarser line
+            seed: 7,
+        }
+    }
+
+    /// Number of logical pages exported to the host.
+    pub fn logical_pages(&self) -> u64 {
+        let physical = self.geometry.blocks as u64 * self.geometry.pages_per_block() as u64;
+        ((physical as f64) * (1.0 - self.overprovision)).floor() as u64
+    }
+
+    /// ECC capability per page in bit errors.
+    pub fn page_capability(&self) -> u64 {
+        ((self.geometry.bits_per_page() as f64) * self.ecc_capability_rber).floor() as u64
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on impossible configurations (zero capacity, no GC headroom,
+    /// zero ECC capability).
+    pub fn validate(&self) {
+        assert!(self.geometry.blocks >= 4, "need at least 4 blocks");
+        assert!(
+            (0.01..0.9).contains(&self.overprovision),
+            "overprovision must be in (0.01, 0.9)"
+        );
+        assert!(self.gc_free_threshold >= 1);
+        assert!(self.refresh_interval_days > 0.0);
+        assert!(self.page_capability() >= 1, "page ECC capability is zero");
+        assert!(self.logical_pages() > 0);
+    }
+}
+
+impl Default for SsdConfig {
+    fn default() -> Self {
+        Self {
+            geometry: Geometry::standard(),
+            chip_params: ChipParams::default(),
+            overprovision: 0.07,
+            gc_free_threshold: 2,
+            refresh_interval_days: 7.0,
+            ecc_capability_rber: 1.0e-3,
+            seed: 42,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        SsdConfig::default().validate();
+        SsdConfig::small_test().validate();
+    }
+
+    #[test]
+    fn logical_capacity_below_physical() {
+        let c = SsdConfig::small_test();
+        let physical = c.geometry.blocks as u64 * c.geometry.pages_per_block() as u64;
+        assert!(c.logical_pages() < physical);
+        assert!(c.logical_pages() > physical / 2);
+    }
+
+    #[test]
+    fn page_capability_scales_with_page_size() {
+        let mut c = SsdConfig::default();
+        let base = c.page_capability();
+        c.geometry.bitlines *= 2;
+        assert_eq!(c.page_capability(), base * 2);
+    }
+}

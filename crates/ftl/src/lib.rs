@@ -1,0 +1,43 @@
+//! # rd-ftl — SSD substrate: flash translation layer over the simulated chip
+//!
+//! The paper's mechanisms live inside a flash controller; this crate builds
+//! the controller substrate around [`rd_flash::Chip`]:
+//!
+//! * a page-mapped **flash translation layer** (logical page → physical
+//!   page, out-of-place writes, invalidation);
+//! * greedy **garbage collection** with implicit wear-leveling allocation;
+//! * **remapping-based refresh** on the paper's assumed 7-day interval
+//!   (§3: "the refresh interval");
+//! * the **read reclaim** baseline mitigation — remap a block's data after a
+//!   fixed read count (paper §5: Yaffs-style, [29]);
+//! * a [`MitigationPolicy`] hook through which `rd-core` plugs Vpass Tuning
+//!   into the same controller.
+//!
+//! ```
+//! use rd_ftl::{Ssd, SsdConfig};
+//!
+//! # fn main() -> Result<(), rd_ftl::FtlError> {
+//! let mut ssd = Ssd::new(SsdConfig::small_test())?;
+//! ssd.write(3)?;             // write logical page 3
+//! let read = ssd.read(3)?;   // read it back through ECC
+//! assert_eq!(read.corrected_errors, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod mapping;
+pub mod policy;
+pub mod ssd;
+pub mod stats;
+
+pub use config::SsdConfig;
+pub use error::FtlError;
+pub use mapping::{PageMap, Ppa};
+pub use policy::{MitigationPolicy, NoMitigation, PolicyAction, PolicyContext, ReadReclaim};
+pub use ssd::{HostRead, Ssd};
+pub use stats::SsdStats;

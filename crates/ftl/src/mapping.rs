@@ -1,0 +1,162 @@
+//! Logical-to-physical page mapping with validity tracking.
+
+/// Physical page address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ppa {
+    /// Block index.
+    pub block: u32,
+    /// Page index within the block.
+    pub page: u32,
+}
+
+/// Page-level mapping table: logical page ↔ physical page, plus per-block
+/// valid-page counts for garbage collection.
+#[derive(Debug, Clone)]
+pub struct PageMap {
+    l2p: Vec<Option<Ppa>>,
+    p2l: Vec<Vec<Option<u64>>>,
+    valid_count: Vec<u32>,
+    pages_per_block: u32,
+}
+
+impl PageMap {
+    /// Creates an empty map for `logical_pages` over `blocks` ×
+    /// `pages_per_block` physical pages.
+    pub fn new(logical_pages: u64, blocks: u32, pages_per_block: u32) -> Self {
+        Self {
+            l2p: vec![None; logical_pages as usize],
+            p2l: (0..blocks).map(|_| vec![None; pages_per_block as usize]).collect(),
+            valid_count: vec![0; blocks as usize],
+            pages_per_block,
+        }
+    }
+
+    /// Exported logical capacity in pages.
+    pub fn logical_pages(&self) -> u64 {
+        self.l2p.len() as u64
+    }
+
+    /// Current physical location of a logical page.
+    pub fn lookup(&self, lpa: u64) -> Option<Ppa> {
+        self.l2p.get(lpa as usize).copied().flatten()
+    }
+
+    /// Logical owner of a physical page (if valid).
+    pub fn owner(&self, ppa: Ppa) -> Option<u64> {
+        self.p2l[ppa.block as usize][ppa.page as usize]
+    }
+
+    /// Valid pages in a block.
+    pub fn valid_count(&self, block: u32) -> u32 {
+        self.valid_count[block as usize]
+    }
+
+    /// Installs a new mapping, invalidating the previous location if any.
+    /// Returns the invalidated physical page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target physical page is already valid (the FTL must
+    /// never double-map).
+    pub fn remap(&mut self, lpa: u64, ppa: Ppa) -> Option<Ppa> {
+        assert!(
+            self.p2l[ppa.block as usize][ppa.page as usize].is_none(),
+            "physical page {ppa:?} already mapped"
+        );
+        let old = self.l2p[lpa as usize].take();
+        if let Some(old_ppa) = old {
+            self.p2l[old_ppa.block as usize][old_ppa.page as usize] = None;
+            self.valid_count[old_ppa.block as usize] -= 1;
+        }
+        self.l2p[lpa as usize] = Some(ppa);
+        self.p2l[ppa.block as usize][ppa.page as usize] = Some(lpa);
+        self.valid_count[ppa.block as usize] += 1;
+        old
+    }
+
+    /// Clears every mapping into `block` (called on erase). The logical
+    /// pages must already have been moved; this only asserts emptiness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block still holds valid pages.
+    pub fn assert_block_empty(&self, block: u32) {
+        assert_eq!(
+            self.valid_count[block as usize], 0,
+            "erasing block {block} with valid pages"
+        );
+    }
+
+    /// Valid `(page, lpa)` pairs of a block (for GC relocation).
+    pub fn valid_pages(&self, block: u32) -> Vec<(u32, u64)> {
+        self.p2l[block as usize]
+            .iter()
+            .enumerate()
+            .filter_map(|(p, l)| l.map(|lpa| (p as u32, lpa)))
+            .collect()
+    }
+
+    /// Pages per block (layout constant).
+    pub fn pages_per_block(&self) -> u32 {
+        self.pages_per_block
+    }
+
+    /// Internal-consistency check: every l2p entry is mirrored in p2l and
+    /// valid counts agree. Used by tests and debug assertions.
+    pub fn check_consistency(&self) -> bool {
+        let mut counts = vec![0u32; self.valid_count.len()];
+        for (lpa, entry) in self.l2p.iter().enumerate() {
+            if let Some(ppa) = entry {
+                if self.p2l[ppa.block as usize][ppa.page as usize] != Some(lpa as u64) {
+                    return false;
+                }
+                counts[ppa.block as usize] += 1;
+            }
+        }
+        counts == self.valid_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remap_moves_validity() {
+        let mut map = PageMap::new(8, 4, 4);
+        assert_eq!(map.remap(3, Ppa { block: 0, page: 0 }), None);
+        assert_eq!(map.valid_count(0), 1);
+        let old = map.remap(3, Ppa { block: 1, page: 2 });
+        assert_eq!(old, Some(Ppa { block: 0, page: 0 }));
+        assert_eq!(map.valid_count(0), 0);
+        assert_eq!(map.valid_count(1), 1);
+        assert_eq!(map.lookup(3), Some(Ppa { block: 1, page: 2 }));
+        assert_eq!(map.owner(Ppa { block: 1, page: 2 }), Some(3));
+        assert!(map.check_consistency());
+    }
+
+    #[test]
+    #[should_panic(expected = "already mapped")]
+    fn double_map_panics() {
+        let mut map = PageMap::new(8, 4, 4);
+        map.remap(1, Ppa { block: 0, page: 0 });
+        map.remap(2, Ppa { block: 0, page: 0 });
+    }
+
+    #[test]
+    fn valid_pages_enumeration() {
+        let mut map = PageMap::new(8, 2, 4);
+        map.remap(0, Ppa { block: 1, page: 3 });
+        map.remap(5, Ppa { block: 1, page: 0 });
+        let v = map.valid_pages(1);
+        assert_eq!(v, vec![(0, 5), (3, 0)]);
+        assert!(map.valid_pages(0).is_empty());
+    }
+
+    #[test]
+    fn unknown_lookup_is_none() {
+        let map = PageMap::new(4, 2, 2);
+        assert_eq!(map.lookup(0), None);
+        assert_eq!(map.lookup(99), None);
+    }
+}

@@ -1,0 +1,159 @@
+//! Mitigation policy hook: how read-disturb countermeasures plug into the
+//! controller.
+//!
+//! The FTL ships two built-in policies — [`NoMitigation`] (the paper's
+//! baseline) and [`ReadReclaim`] (the prior-art mitigation, §5) — and
+//! `rd-core` implements the paper's Vpass Tuning against the same trait.
+
+use rd_flash::chip::ReadOutcome;
+use rd_flash::Chip;
+
+/// Mutable controller state handed to policies.
+#[derive(Debug)]
+pub struct PolicyContext<'a> {
+    /// The flash chip (policies may probe pages, adjust per-block Vpass, …).
+    pub chip: &'a mut Chip,
+    /// Blocks currently holding valid data.
+    pub valid_blocks: &'a [u32],
+    /// The controller's refresh interval in days.
+    pub refresh_interval_days: f64,
+    /// ECC capability per page in bit errors.
+    pub page_capability: u64,
+}
+
+/// Action requested by a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyAction {
+    /// Nothing to do.
+    None,
+    /// Relocate all valid data out of a block and erase it.
+    ReclaimBlock(u32),
+}
+
+/// A read-disturb mitigation policy embedded in the controller.
+pub trait MitigationPolicy {
+    /// Policy name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Called once per simulated day. Returns any block-level actions.
+    fn daily(&mut self, ctx: &mut PolicyContext<'_>) -> Vec<PolicyAction> {
+        let _ = ctx;
+        Vec::new()
+    }
+
+    /// Called after every host read.
+    fn after_read(
+        &mut self,
+        ctx: &mut PolicyContext<'_>,
+        block: u32,
+        outcome: &ReadOutcome,
+    ) -> PolicyAction {
+        let _ = (ctx, block, outcome);
+        PolicyAction::None
+    }
+}
+
+/// The paper's baseline: fixed nominal Vpass, no countermeasures beyond the
+/// periodic refresh the controller already performs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoMitigation;
+
+impl MitigationPolicy for NoMitigation {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+}
+
+/// Read reclaim: remap a block once it has served a fixed number of reads
+/// (prior art the paper compares against, §5: Yaffs-style, [21, 29, 30, 40]).
+#[derive(Debug, Clone, Copy)]
+pub struct ReadReclaim {
+    /// Reads after which a block is reclaimed (e.g. 50 000 for MLC, the
+    /// Yaffs figure quoted in §5).
+    pub read_threshold: u64,
+}
+
+impl ReadReclaim {
+    /// Creates the policy with the Yaffs MLC default of 50 000 reads.
+    pub fn yaffs_default() -> Self {
+        Self { read_threshold: 50_000 }
+    }
+}
+
+impl MitigationPolicy for ReadReclaim {
+    fn name(&self) -> &'static str {
+        "read-reclaim"
+    }
+
+    fn after_read(
+        &mut self,
+        ctx: &mut PolicyContext<'_>,
+        block: u32,
+        _outcome: &ReadOutcome,
+    ) -> PolicyAction {
+        let reads = ctx
+            .chip
+            .block_status(block)
+            .map(|s| s.reads_since_erase)
+            .unwrap_or(0);
+        if reads >= self.read_threshold {
+            PolicyAction::ReclaimBlock(block)
+        } else {
+            PolicyAction::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rd_flash::{ChipParams, Geometry};
+
+    #[test]
+    fn no_mitigation_is_inert() {
+        let mut chip = Chip::new(Geometry::small(), ChipParams::default(), 0);
+        let valid = vec![0u32];
+        let mut ctx = PolicyContext {
+            chip: &mut chip,
+            valid_blocks: &valid,
+            refresh_interval_days: 7.0,
+            page_capability: 4,
+        };
+        let mut p = NoMitigation;
+        assert!(p.daily(&mut ctx).is_empty());
+        assert_eq!(p.name(), "baseline");
+    }
+
+    #[test]
+    fn read_reclaim_triggers_at_threshold() {
+        let mut chip = Chip::new(Geometry::small(), ChipParams::default(), 0);
+        chip.program_block_random(0, 1).unwrap();
+        let outcome = chip.read_page(0, 0).unwrap();
+        let valid = vec![0u32];
+        let mut p = ReadReclaim { read_threshold: 100 };
+        {
+            let mut ctx = PolicyContext {
+                chip: &mut chip,
+                valid_blocks: &valid,
+                refresh_interval_days: 7.0,
+                page_capability: 4,
+            };
+            assert_eq!(p.after_read(&mut ctx, 0, &outcome), PolicyAction::None);
+        }
+        chip.apply_read_disturbs(0, 200).unwrap();
+        {
+            let mut ctx = PolicyContext {
+                chip: &mut chip,
+                valid_blocks: &valid,
+                refresh_interval_days: 7.0,
+                page_capability: 4,
+            };
+            assert_eq!(p.after_read(&mut ctx, 0, &outcome), PolicyAction::ReclaimBlock(0));
+        }
+    }
+
+    #[test]
+    fn yaffs_default_threshold() {
+        assert_eq!(ReadReclaim::yaffs_default().read_threshold, 50_000);
+    }
+}

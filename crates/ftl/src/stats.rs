@@ -1,0 +1,61 @@
+//! Controller statistics: write amplification, wear, and reliability events.
+
+/// Counters maintained by the SSD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SsdStats {
+    /// Host-issued page writes.
+    pub host_writes: u64,
+    /// Page writes performed by garbage collection.
+    pub gc_writes: u64,
+    /// Page writes performed by refresh remapping.
+    pub refresh_writes: u64,
+    /// Page writes performed by read reclaim / policy-requested relocation.
+    pub reclaim_writes: u64,
+    /// Block erases.
+    pub erases: u64,
+    /// Host-issued page reads.
+    pub host_reads: u64,
+    /// Reads whose raw bit errors exceeded the ECC capability.
+    pub uncorrectable_reads: u64,
+    /// Total raw bit errors corrected across all reads.
+    pub corrected_bits: u64,
+    /// Relocations where even the internal read was uncorrectable, so raw
+    /// (corrupted) data was copied forward — permanent data loss events.
+    pub data_loss_relocations: u64,
+    /// Blocks refreshed.
+    pub refreshes: u64,
+    /// Blocks reclaimed on policy request.
+    pub reclaims: u64,
+}
+
+impl SsdStats {
+    /// Total physical page writes.
+    pub fn total_writes(&self) -> u64 {
+        self.host_writes + self.gc_writes + self.refresh_writes + self.reclaim_writes
+    }
+
+    /// Write amplification factor: physical writes per host write.
+    pub fn waf(&self) -> f64 {
+        if self.host_writes == 0 {
+            0.0
+        } else {
+            self.total_writes() as f64 / self.host_writes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waf_computation() {
+        let mut s = SsdStats::default();
+        assert_eq!(s.waf(), 0.0);
+        s.host_writes = 100;
+        s.gc_writes = 30;
+        s.refresh_writes = 10;
+        assert!((s.waf() - 1.4).abs() < 1e-12);
+        assert_eq!(s.total_writes(), 140);
+    }
+}

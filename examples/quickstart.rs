@@ -1,0 +1,79 @@
+//! Quickstart: watch read disturb degrade a worn flash block, then mitigate
+//! it with Vpass Tuning and recover a heavily-disturbed block with RDR.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use readdisturb::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Read disturb in action -------------------------------------
+    // A block with 8K P/E cycles of wear, programmed with random data.
+    let mut chip = Chip::new(Geometry::characterization(), ChipParams::default(), 42);
+    chip.cycle_block(0, 8_000)?;
+    chip.program_block_random(0, 7)?;
+
+    println!("read disturb on a block with 8K P/E cycles of wear:");
+    println!("{:>12} {:>12}", "reads", "RBER");
+    for step in 0..=5u64 {
+        let reads = step * 20_000;
+        chip.apply_read_disturbs(0, reads.saturating_sub(chip.block_status(0)?.reads_since_erase))?;
+        println!("{:>12} {:>12.3e}", reads, chip.block_rber(0)?.rate());
+    }
+
+    // --- 2. Vpass Tuning -------------------------------------------------
+    // The controller learns the lowest pass-through voltage whose induced
+    // read errors still fit in the unused ECC margin (paper SS3). Run on a
+    // block with realistic page sizes (64 Ki bits, like real MLC parts) and
+    // fresh data, as the mechanism does right after each refresh.
+    let tuning_geometry = Geometry { blocks: 1, wordlines_per_block: 16, bitlines: 64 * 1024 };
+    let make_block = |seed: u64| -> Result<Chip, readdisturb::flash::FlashError> {
+        let mut c = Chip::new(tuning_geometry, ChipParams::default(), seed);
+        c.cycle_block(0, 6_000)?;
+        c.program_block_random(0, seed)?;
+        Ok(c)
+    };
+    let mut tuned = make_block(11)?;
+    let mut tuner = VpassTuner::new(VpassTunerConfig::default());
+    tuner.manufacture_init(&mut tuned, 0)?;
+    let report = tuner.tune_block(&mut tuned, 0)?;
+    println!(
+        "\nVpass Tuning: {:.1} -> {:.1} ({:.1}% reduction, MEE={}, margin={} bits)",
+        report.vpass_before,
+        report.vpass_after,
+        report.reduction() * 100.0,
+        report.mee,
+        report.margin
+    );
+
+    // The tuned block accumulates disturb far more slowly.
+    let mut baseline = make_block(11)?;
+    baseline.apply_read_disturbs(0, 200_000)?;
+    tuned.apply_read_disturbs(0, 200_000)?;
+    // Compare damage at nominal read conditions (excludes the deliberate,
+    // ECC-covered pass-through errors, as the paper's Fig. 7 does).
+    tuned.set_block_vpass(0, NOMINAL_VPASS)?;
+    println!(
+        "after 200K reads: baseline RBER {:.3e}, tuned RBER {:.3e}",
+        baseline.block_rber(0)?.rate(),
+        tuned.block_rber(0)?.rate()
+    );
+
+    // --- 3. Read Disturb Recovery ----------------------------------------
+    // Push a block to a million reads and recover it (paper SS4-5).
+    let mut victim = Chip::new(Geometry::characterization(), ChipParams::default(), 9);
+    victim.cycle_block(0, 8_000)?;
+    victim.program_block_random(0, 3)?;
+    victim.apply_read_disturbs(0, 1_000_000)?;
+    let rdr = Rdr::new(RdrConfig::default());
+    let outcome = rdr.recover_block(&mut victim, 0)?;
+    let uncorrected = victim.block_rber(0)?;
+    let recovered = rdr.errors_vs_intended(&victim, 0, &outcome)?;
+    println!(
+        "\nRDR after 1M reads: RBER {:.3e} -> {:.3e} ({:.0}% reduction, {} cells reassigned)",
+        uncorrected.rate(),
+        recovered.rate(),
+        (1.0 - recovered.rate() / uncorrected.rate()) * 100.0,
+        outcome.reclassified
+    );
+    Ok(())
+}
