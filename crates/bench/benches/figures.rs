@@ -26,9 +26,7 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig05_passthrough_sweep", |b| {
         b.iter(|| fig5_passthrough_sweep(Scale::quick(), 1).unwrap())
     });
-    group.bench_function("fig06_retention_staircase", |b| {
-        b.iter(|| fig6_retention_staircase(64))
-    });
+    group.bench_function("fig06_retention_staircase", |b| b.iter(|| fig6_retention_staircase(64)));
     group.bench_function("fig07_refresh_intervals", |b| {
         b.iter(|| fig7_refresh_intervals(8_000, 40_000.0, 64))
     });

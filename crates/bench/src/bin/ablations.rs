@@ -39,8 +39,7 @@ fn main() {
 
     // 3. Susceptibility Pareto exponent: disturb RBER at 1M reads (MC).
     for a in [0.7, 0.85, 1.0] {
-        let mut params = ChipParams::default();
-        params.rd_susceptibility_pareto_a = a;
+        let params = ChipParams { rd_susceptibility_pareto_a: a, ..ChipParams::default() };
         let mut chip = Chip::new(Geometry::characterization(), params, 9);
         chip.cycle_block(0, 8_000).unwrap();
         chip.program_block_random(0, 9).unwrap();

@@ -5,10 +5,8 @@ use readdisturb::core::characterize::{ext_slc_mode, Scale};
 
 fn main() {
     let rows = ext_slc_mode(Scale::full(), 9).expect("experiment");
-    let csv: Vec<String> = rows
-        .iter()
-        .map(|r| format!("{},{:.6e},{:.6e}", r.reads, r.mlc_rber, r.slc_rber))
-        .collect();
+    let csv: Vec<String> =
+        rows.iter().map(|r| format!("{},{:.6e},{:.6e}", r.reads, r.mlc_rber, r.slc_rber)).collect();
     rd_bench::emit_csv("ext_slc_mode", "reads,mlc_rber,slc_rber", &csv);
 
     // Resistance is about disturb-induced *growth*: both technologies share

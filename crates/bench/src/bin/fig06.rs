@@ -9,10 +9,7 @@ fn main() {
         .rows
         .iter()
         .map(|r| {
-            format!(
-                "{},{:.6e},{:.6e},{}",
-                r.day, r.base_rber, r.margin_rber, r.safe_reduction_pct
-            )
+            format!("{},{:.6e},{:.6e},{}", r.day, r.base_rber, r.margin_rber, r.safe_reduction_pct)
         })
         .collect();
     rd_bench::emit_csv("fig06", "day,base_rber,margin_rber,safe_reduction_pct", &rows);

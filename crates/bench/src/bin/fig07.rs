@@ -14,10 +14,9 @@ fn main() {
     rd_bench::emit_csv("fig07", "day,unmitigated_rber,mitigated_rber", &rows);
     println!("refresh interval: {} days, capability {:.1e}", data.interval_days, data.capability);
 
-    let peak =
-        |f: &dyn Fn(&readdisturb::core::characterize::Fig7Point) -> f64| {
-            data.points.iter().map(f).fold(0.0, f64::max)
-        };
+    let peak = |f: &dyn Fn(&readdisturb::core::characterize::Fig7Point) -> f64| {
+        data.points.iter().map(f).fold(0.0, f64::max)
+    };
     let unmit = peak(&|p| p.unmitigated);
     let mit = peak(&|p| p.mitigated);
     rd_bench::shape_check("fig7 peak error reduction from mitigation", 1.0 - mit / unmit, 0.5);

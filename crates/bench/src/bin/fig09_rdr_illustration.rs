@@ -50,10 +50,8 @@ fn snapshot(chip: &Chip, va: f64) -> (f64, u64, u64) {
                     er_near += 1;
                 }
             }
-            CellState::P1 => {
-                if (vth - va).abs() <= 15.0 {
-                    p1_near += 1;
-                }
+            CellState::P1 if (vth - va).abs() <= 15.0 => {
+                p1_near += 1;
             }
             _ => {}
         }

@@ -5,10 +5,8 @@
 //! crate's `figN` binaries print them as CSV and compare against the
 //! paper's reported shapes (see `EXPERIMENTS.md`).
 
-use rd_flash::{
-    AnalyticModel, Chip, ChipParams, Geometry, VthHistogram, NOMINAL_VPASS,
-};
 use rd_ecc::MarginPolicy;
+use rd_flash::{AnalyticModel, Chip, ChipParams, Geometry, VthHistogram, NOMINAL_VPASS};
 use rd_workloads::WorkloadProfile;
 
 use crate::error::CoreError;
@@ -186,9 +184,7 @@ pub struct Fig4Data {
 ///
 /// Propagates flash addressing errors.
 pub fn fig4_vpass_read_tolerance(scale: Scale, seed: u64) -> Result<Fig4Data, CoreError> {
-    let grid: Vec<u64> = (0..=10)
-        .map(|i| (1.0e4 * 10f64.powf(i as f64 / 2.0)) as u64)
-        .collect();
+    let grid: Vec<u64> = (0..=10).map(|i| (1.0e4 * 10f64.powf(i as f64 / 2.0)) as u64).collect();
     let mut series = Vec::new();
     for pct in (94..=100u32).rev() {
         let vpass = pct as f64 / 100.0 * NOMINAL_VPASS;
@@ -456,7 +452,11 @@ pub struct ConcentratedRow {
 /// # Errors
 ///
 /// Propagates flash addressing errors.
-pub fn ext_concentrated_disturb(scale: Scale, seed: u64, reads: u64) -> Result<Vec<ConcentratedRow>, CoreError> {
+pub fn ext_concentrated_disturb(
+    scale: Scale,
+    seed: u64,
+    reads: u64,
+) -> Result<Vec<ConcentratedRow>, CoreError> {
     let mut chip = scale.chip(8_000, seed)?;
     let target = scale.wordlines / 2;
     chip.hammer_wordline(0, target, reads)?;
@@ -591,11 +591,8 @@ mod tests {
     fn fig2_er_state_shifts_up_with_reads() {
         let data = fig2_vth_histograms(Scale::quick(), 11).unwrap();
         assert_eq!(data.snapshots.len(), 4);
-        let er_means: Vec<f64> = data
-            .snapshots
-            .iter()
-            .map(|(_, h)| h.state_mean(rd_flash::CellState::Er))
-            .collect();
+        let er_means: Vec<f64> =
+            data.snapshots.iter().map(|(_, h)| h.state_mean(rd_flash::CellState::Er)).collect();
         assert!(
             er_means.windows(2).all(|w| w[1] >= w[0] - 0.2),
             "ER mean must drift up: {er_means:?}"
@@ -665,13 +662,8 @@ mod tests {
             );
         }
         // The 4% band ends within the first week (paper: < 4 days).
-        let four_band_end = data
-            .rows
-            .iter()
-            .filter(|r| r.safe_reduction_pct == 4)
-            .map(|r| r.day)
-            .max()
-            .unwrap();
+        let four_band_end =
+            data.rows.iter().filter(|r| r.safe_reduction_pct == 4).map(|r| r.day).max().unwrap();
         assert!((2..=7).contains(&four_band_end), "4% band ends at day {four_band_end}");
     }
 
@@ -679,9 +671,7 @@ mod tests {
     fn fig7_mitigation_lowers_peaks() {
         let data = fig7_refresh_intervals(8_000, 40_000.0, 64);
         // Peaks at interval ends: mitigated strictly lower.
-        let peak = |f: &dyn Fn(&Fig7Point) -> f64| {
-            data.points.iter().map(|p| f(p)).fold(0.0, f64::max)
-        };
+        let peak = |f: &dyn Fn(&Fig7Point) -> f64| data.points.iter().map(f).fold(0.0, f64::max);
         let unmit = peak(&|p: &Fig7Point| p.unmitigated);
         let mit = peak(&|p: &Fig7Point| p.mitigated);
         assert!(mit < unmit, "mitigated {mit} vs unmitigated {unmit}");

@@ -49,11 +49,7 @@ impl MitigationPolicy for VpassTuningPolicy {
                     continue;
                 }
             }
-            let age = ctx
-                .chip
-                .block_status(block)
-                .map(|s| s.age_days)
-                .unwrap_or(f64::MAX);
+            let age = ctx.chip.block_status(block).map(|s| s.age_days).unwrap_or(f64::MAX);
             // Freshly refreshed/written (age ≤ one daily tick): full
             // identification; else the cheap daily raise-check.
             let result = if age < 1.5 {
@@ -107,10 +103,8 @@ mod tests {
         }
         ssd.advance_time(1.0).unwrap();
         // At least one block with valid data should now be tuned below nominal.
-        let tuned = ssd
-            .valid_blocks()
-            .iter()
-            .any(|&b| ssd.chip().block_vpass(b).unwrap() < NOMINAL_VPASS);
+        let tuned =
+            ssd.valid_blocks().iter().any(|&b| ssd.chip().block_vpass(b).unwrap() < NOMINAL_VPASS);
         assert!(tuned, "no block was tuned below nominal");
         assert!(ssd.policy().tuner().stats().tunings + ssd.policy().tuner().stats().checks > 0);
     }

@@ -138,15 +138,12 @@ impl Rdr {
                 let nearest = boundaries
                     .iter()
                     .min_by(|a, b| {
-                        (v_after - a.0)
-                            .abs()
-                            .partial_cmp(&(v_after - b.0).abs())
-                            .expect("finite")
+                        (v_after - a.0).abs().partial_cmp(&(v_after - b.0).abs()).expect("finite")
                     })
                     .expect("three boundaries");
                 let offset = v_after - nearest.0;
-                let in_window =
-                    offset >= -self.config.boundary_window_below && offset <= self.config.boundary_window;
+                let in_window = offset >= -self.config.boundary_window_below
+                    && offset <= self.config.boundary_window;
                 let state = if in_window {
                     boundary_cells += 1;
                     let delta_vref = self.delta_vref(&params, v_before, extra_dose);
@@ -228,7 +225,7 @@ impl Rdr {
     /// Extracts the recovered bits of one page from an outcome.
     pub fn page_bits(&self, outcome: &RdrOutcome, page: u32) -> Vec<u8> {
         let wl = (page / 2) as usize;
-        let kind = if page % 2 == 0 { PageKind::Lsb } else { PageKind::Msb };
+        let kind = if page.is_multiple_of(2) { PageKind::Lsb } else { PageKind::Msb };
         let row = &outcome.corrected[wl];
         let mut data = vec![0u8; row.len().div_ceil(8)];
         for (bl, state) in row.iter().enumerate() {

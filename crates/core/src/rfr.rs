@@ -118,10 +118,7 @@ impl Rfr {
                 let nearest = boundaries
                     .iter()
                     .min_by(|a, b| {
-                        (v_after - a.0)
-                            .abs()
-                            .partial_cmp(&(v_after - b.0).abs())
-                            .expect("finite")
+                        (v_after - a.0).abs().partial_cmp(&(v_after - b.0).abs()).expect("finite")
                     })
                     .expect("three boundaries");
                 let offset = v_after - nearest.0;
@@ -153,8 +150,13 @@ impl Rfr {
     /// leakers.
     fn delta_vref(&self, params: &rd_flash::ChipParams, v: f64, pe: u64, age0: f64) -> f64 {
         let drop_before = retention::vth_drop(params, v, self.config.leak_threshold, pe, age0);
-        let drop_after =
-            retention::vth_drop(params, v, self.config.leak_threshold, pe, age0 + self.config.extra_days);
+        let drop_after = retention::vth_drop(
+            params,
+            v,
+            self.config.leak_threshold,
+            pe,
+            age0 + self.config.extra_days,
+        );
         (drop_after - drop_before).max(self.config.measure_step)
     }
 

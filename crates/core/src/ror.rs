@@ -143,11 +143,7 @@ mod tests {
         for wl in (0..64).step_by(8) {
             let outcome = ror.optimize_wordline(&mut chip, 0, wl).unwrap();
             let d = chip.read_page(0, wl * 2 + 1).unwrap().stats.errors;
-            let o = chip
-                .read_page_with_refs(0, wl * 2 + 1, &outcome.refs)
-                .unwrap()
-                .stats
-                .errors;
+            let o = chip.read_page_with_refs(0, wl * 2 + 1, &outcome.refs).unwrap().stats.errors;
             default_errors += d;
             optimized_errors += o;
         }

@@ -37,10 +37,7 @@ pub struct VpassTunerConfig {
 
 impl Default for VpassTunerConfig {
     fn default() -> Self {
-        Self {
-            margin: MarginPolicy::paper_default(),
-            step: 0.005 * NOMINAL_VPASS,
-        }
+        Self { margin: MarginPolicy::paper_default(), step: 0.005 * NOMINAL_VPASS }
     }
 }
 
@@ -134,10 +131,7 @@ impl VpassTuner {
     ///
     /// Fails if the block was never initialized or on flash errors.
     pub fn tune_block(&mut self, chip: &mut Chip, block: u32) -> Result<TuneReport, CoreError> {
-        let worst = *self
-            .worst_pages
-            .get(&block)
-            .ok_or(CoreError::NotInitialized { block })?;
+        let worst = *self.worst_pages.get(&block).ok_or(CoreError::NotInitialized { block })?;
         let vpass_before = chip.block_vpass(block)?;
         let mut probe_reads = 0u64;
 
@@ -211,10 +205,7 @@ impl VpassTuner {
     ///
     /// Fails if the block was never initialized or on flash errors.
     pub fn daily_check(&mut self, chip: &mut Chip, block: u32) -> Result<TuneReport, CoreError> {
-        let worst = *self
-            .worst_pages
-            .get(&block)
-            .ok_or(CoreError::NotInitialized { block })?;
+        let worst = *self.worst_pages.get(&block).ok_or(CoreError::NotInitialized { block })?;
         let vpass_before = chip.block_vpass(block)?;
         let mut probe_reads = 0u64;
         let probe = probe_margin(chip, block, worst, &self.config.margin)?;
@@ -334,10 +325,7 @@ mod tests {
         };
         let young = reduction_at(2_000);
         let worn = reduction_at(12_000);
-        assert!(
-            young >= worn,
-            "young blocks must tune at least as deep: {young} vs {worn}"
-        );
+        assert!(young >= worn, "young blocks must tune at least as deep: {young} vs {worn}");
     }
 
     #[test]

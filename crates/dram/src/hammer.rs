@@ -34,11 +34,7 @@ impl HammerExperiment {
 
     /// Total victim cells across all hammered rows.
     pub fn total_victims(&self) -> u64 {
-        self.histogram
-            .iter()
-            .enumerate()
-            .map(|(v, &count)| v as u64 * count)
-            .sum()
+        self.histogram.iter().enumerate().map(|(v, &count)| v as u64 * count).sum()
     }
 
     /// Rows that flipped at least one victim.

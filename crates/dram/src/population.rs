@@ -108,11 +108,7 @@ mod tests {
         let p = ModulePopulation::paper_129(7);
         assert_eq!(p.modules().len(), 129);
         // No vulnerable modules before 2010 (earliest in the study: 2010).
-        assert!(p
-            .modules()
-            .iter()
-            .filter(|m| m.year < 2010)
-            .all(|m| !m.is_vulnerable()));
+        assert!(p.modules().iter().filter(|m| m.year < 2010).all(|m| !m.is_vulnerable()));
         // All 2012-2013 modules vulnerable (the paper's emphasized finding).
         assert!(p
             .modules()

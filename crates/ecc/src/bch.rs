@@ -85,13 +85,7 @@ impl BchCode {
             return Err(EccError::InvalidCapability { t, n });
         }
         let generator: Vec<u8> = generator.iter().take(parity_bits + 1).map(|&c| c as u8).collect();
-        Ok(Self {
-            gf,
-            t,
-            parity_bits,
-            data_bits: n - parity_bits,
-            generator,
-        })
+        Ok(Self { gf, t, parity_bits, data_bits: n - parity_bits, generator })
     }
 
     /// Builds a shortened code carrying exactly `data_bits` of payload.
@@ -219,15 +213,12 @@ impl BchCode {
         if self.syndromes(&fixed).iter().any(|&s| s != 0) {
             return Err(EccError::Uncorrectable);
         }
-        Ok(Decoded {
-            data: self.extract_data(&fixed),
-            corrected: positions.len(),
-            positions,
-        })
+        Ok(Decoded { data: self.extract_data(&fixed), corrected: positions.len(), positions })
     }
 
     fn extract_data(&self, cw: &[u8]) -> Vec<u8> {
-        let mut data = vec![0u8; self.data_bits / 8 + usize::from(self.data_bits % 8 != 0)];
+        let mut data =
+            vec![0u8; self.data_bits / 8 + usize::from(!self.data_bits.is_multiple_of(8))];
         for i in 0..self.data_bits {
             set_bit(&mut data, i, get_bit(cw, self.parity_bits + i));
         }

@@ -45,7 +45,8 @@ impl MarginPolicy {
     /// The paper's `M = (1 - reserve) * C - MEE`, in bit errors (clamped at
     /// zero).
     pub fn margin_errors(&self, page_bits: usize, mee: u64) -> u64 {
-        let usable = ((1.0 - self.reserve_frac) * self.capability_errors(page_bits) as f64).floor() as u64;
+        let usable =
+            ((1.0 - self.reserve_frac) * self.capability_errors(page_bits) as f64).floor() as u64;
         usable.saturating_sub(mee)
     }
 

@@ -152,7 +152,7 @@ pub fn binomial_tail_above(n: usize, p: f64, k: usize) -> f64 {
     }
     let ln_p = p.ln();
     let ln_q = (-p).ln_1p(); // ln(1 - p), stable for small p
-    // ln C(n, k+1) via additive construction.
+                             // ln C(n, k+1) via additive construction.
     let mut ln_choose = 0.0f64;
     for i in 0..(k + 1) {
         ln_choose += ((n - i) as f64).ln() - ((i + 1) as f64).ln();

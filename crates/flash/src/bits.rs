@@ -55,10 +55,7 @@ pub fn random<R: Rng + ?Sized>(rng: &mut R, nbits: usize) -> Vec<u8> {
 /// Panics if lengths differ.
 pub fn hamming(a: &[u8], b: &[u8]) -> u64 {
     assert_eq!(a.len(), b.len(), "buffers must have equal length");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x ^ y).count_ones() as u64)
-        .sum()
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones() as u64).sum()
 }
 
 #[cfg(test)]

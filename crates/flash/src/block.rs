@@ -59,7 +59,12 @@ struct BitlineMaxima {
 }
 
 impl Block {
-    pub(crate) fn new(wordlines: u32, bitlines: u32, params: &ChipParams, rng: &mut StdRng) -> Self {
+    pub(crate) fn new(
+        wordlines: u32,
+        bitlines: u32,
+        params: &ChipParams,
+        rng: &mut StdRng,
+    ) -> Self {
         let cells = CellArray::new(wordlines, bitlines, params, rng);
         let candidate_floor = params.min_vpass.min(params.outlier_base) - 2.0;
         let mut block = Self {
@@ -82,11 +87,7 @@ impl Block {
 
     /// The block's current operating point (wear, age, block-uniform dose).
     pub fn operating_point(&self) -> OperatingPoint {
-        OperatingPoint {
-            pe_cycles: self.pe_cycles,
-            age_days: self.age_days,
-            dose: self.dose,
-        }
+        OperatingPoint { pe_cycles: self.pe_cycles, age_days: self.age_days, dose: self.dose }
     }
 
     /// The operating point as seen by one wordline, including its
@@ -108,7 +109,12 @@ impl Block {
         (0..self.wordlines).flat_map(move |wl| {
             let op = self.operating_point_for(wl);
             (0..self.bitlines).map(move |bl| {
-                (wl, bl, self.cells.intended_state(wl, bl), self.cells.current_vth(params, wl, bl, op))
+                (
+                    wl,
+                    bl,
+                    self.cells.intended_state(wl, bl),
+                    self.cells.current_vth(params, wl, bl, op),
+                )
             })
         })
     }
@@ -222,7 +228,11 @@ impl Block {
                 // First programming pass: LSB=1 stays erased, LSB=0 moves to
                 // an intermediate state read correctly via Vb (modelled as P2).
                 for bl in 0..self.bitlines as usize {
-                    states.push(if bits::get_bit(data, bl) { CellState::Er } else { CellState::P2 });
+                    states.push(if bits::get_bit(data, bl) {
+                        CellState::Er
+                    } else {
+                        CellState::P2
+                    });
                 }
             }
             PageKind::Msb => {
@@ -240,10 +250,7 @@ impl Block {
 
     /// Whether a page has been programmed since the last erase.
     pub fn is_page_programmed(&self, page: u32) -> bool {
-        self.page_programmed
-            .get(page as usize)
-            .copied()
-            .unwrap_or(false)
+        self.page_programmed.get(page as usize).copied().unwrap_or(false)
     }
 
     /// Advances the block's retention clock.
@@ -486,7 +493,8 @@ impl Block {
         for &i in &self.candidates {
             let wl = i / self.bitlines;
             let bl = (i % self.bitlines) as usize;
-            let v = self.cells.current_vth_at(params, i as usize, self.operating_point_for(wl)) as f32;
+            let v =
+                self.cells.current_vth_at(params, i as usize, self.operating_point_for(wl)) as f32;
             let (best_v, _) = maxima.best[bl];
             if v > best_v {
                 maxima.second[bl] = best_v;

@@ -137,7 +137,8 @@ impl CellArray {
             // Over-programmed outlier: exponential tail above outlier_base,
             // truncated at outlier_cap (program-verify bounds the maximum
             // stored voltage below the nominal Vpass).
-            let span = 1.0 - (-(params.outlier_cap - params.outlier_base) / params.outlier_scale).exp();
+            let span =
+                1.0 - (-(params.outlier_cap - params.outlier_base) / params.outlier_scale).exp();
             let u: f64 = rng.gen::<f64>() * span;
             return params.outlier_base - params.outlier_scale * (1.0 - u).ln();
         }
@@ -164,7 +165,13 @@ impl CellArray {
     /// The cell's current threshold voltage under an operating point:
     /// retention loss applied to the base voltage, then the accumulated
     /// disturb dose.
-    pub fn current_vth(&self, params: &ChipParams, wordline: u32, bitline: u32, op: OperatingPoint) -> f64 {
+    pub fn current_vth(
+        &self,
+        params: &ChipParams,
+        wordline: u32,
+        bitline: u32,
+        op: OperatingPoint,
+    ) -> f64 {
         let i = self.index(wordline, bitline);
         self.current_vth_at(params, i, op)
     }
@@ -172,7 +179,8 @@ impl CellArray {
     #[inline]
     pub(crate) fn current_vth_at(&self, params: &ChipParams, i: usize, op: OperatingPoint) -> f64 {
         let base = self.base_vth[i] as f64;
-        let drop = retention::vth_drop(params, base, self.leak[i] as f64, op.pe_cycles, op.age_days);
+        let drop =
+            retention::vth_drop(params, base, self.leak[i] as f64, op.pe_cycles, op.age_days);
         read_disturb::disturbed_vth(params, base - drop, self.susceptibility[i] as f64, op.dose)
     }
 
@@ -186,12 +194,7 @@ impl CellArray {
         (0..self.len()).map(move |i| {
             let wl = (i / self.bitlines as usize) as u32;
             let bl = (i % self.bitlines as usize) as u32;
-            (
-                wl,
-                bl,
-                CellState::from_index(self.intended[i]),
-                self.current_vth_at(params, i, op),
-            )
+            (wl, bl, CellState::from_index(self.intended[i]), self.current_vth_at(params, i, op))
         })
     }
 
@@ -200,9 +203,7 @@ impl CellArray {
     /// Vpass; disturb cannot push other cells that high, see module docs of
     /// [`crate::noise::read_disturb`]).
     pub(crate) fn passthrough_candidates(&self, floor: f64) -> Vec<u32> {
-        (0..self.len() as u32)
-            .filter(|&i| self.base_vth[i as usize] as f64 > floor)
-            .collect()
+        (0..self.len() as u32).filter(|&i| self.base_vth[i as usize] as f64 > floor).collect()
     }
 
     /// Fraction of cells intended per state (diagnostic helper).
@@ -272,10 +273,8 @@ mod tests {
         let states = vec![CellState::Er; 256];
         array.program_wordline(&params, &mut rng, 0, &states, 8_000);
         let quiet = OperatingPoint { pe_cycles: 8_000, age_days: 0.0, dose: 0.0 };
-        let noisy = OperatingPoint {
-            dose: params.dose_increment(1_000_000, 8_000, 512.0),
-            ..quiet
-        };
+        let noisy =
+            OperatingPoint { dose: params.dose_increment(1_000_000, 8_000, 512.0), ..quiet };
         let mut raised = 0;
         for bl in 0..256 {
             let v0 = array.current_vth(&params, 0, bl, quiet);
@@ -296,7 +295,9 @@ mod tests {
         let fresh = OperatingPoint { pe_cycles: 8_000, age_days: 0.0, dose: 0.0 };
         let aged = OperatingPoint { age_days: 21.0, ..fresh };
         for bl in 0..256 {
-            assert!(array.current_vth(&params, 3, bl, aged) < array.current_vth(&params, 3, bl, fresh));
+            assert!(
+                array.current_vth(&params, 3, bl, aged) < array.current_vth(&params, 3, bl, fresh)
+            );
         }
     }
 

@@ -244,7 +244,12 @@ impl Chip {
     /// # Errors
     ///
     /// Fails if the address is out of range.
-    pub fn read_retry(&mut self, block: u32, page: u32, shift: f64) -> Result<RetryReadOutcome, FlashError> {
+    pub fn read_retry(
+        &mut self,
+        block: u32,
+        page: u32,
+        shift: f64,
+    ) -> Result<RetryReadOutcome, FlashError> {
         self.geometry.check_block(block)?;
         let params = self.params.clone();
         let outcome = self.blocks[block as usize].read_page(&params, page, shift, true)?;
@@ -284,7 +289,11 @@ impl Chip {
     /// # Errors
     ///
     /// Fails if the address is out of range.
-    pub fn wordline_rber(&self, block: u32, wordline: u32) -> Result<crate::BitErrorStats, FlashError> {
+    pub fn wordline_rber(
+        &self,
+        block: u32,
+        wordline: u32,
+    ) -> Result<crate::BitErrorStats, FlashError> {
         self.geometry.check_wordline(wordline)?;
         Ok(self.block_ref(block)?.rber_oracle_wordline(&self.params, wordline))
     }
@@ -496,10 +505,7 @@ mod tests {
     #[test]
     fn unprogrammed_page_oracle_errors() {
         let chip = test_chip();
-        assert!(matches!(
-            chip.intended_page_bits(0, 0),
-            Err(FlashError::PageNotProgrammed { .. })
-        ));
+        assert!(matches!(chip.intended_page_bits(0, 0), Err(FlashError::PageNotProgrammed { .. })));
     }
 
     #[test]

@@ -39,31 +39,19 @@ impl Geometry {
     /// A realistic single-die shape: 64 wordlines × 16,384 bitlines
     /// (2 KiB per page, 128 pages and 256 KiB of data per block).
     pub fn standard() -> Self {
-        Self {
-            blocks: 8,
-            wordlines_per_block: 64,
-            bitlines: 16 * 1024,
-        }
+        Self { blocks: 8, wordlines_per_block: 64, bitlines: 16 * 1024 }
     }
 
     /// A small shape for unit tests and doc tests.
     pub fn small() -> Self {
-        Self {
-            blocks: 4,
-            wordlines_per_block: 8,
-            bitlines: 512,
-        }
+        Self { blocks: 4, wordlines_per_block: 8, bitlines: 512 }
     }
 
     /// A single-block shape sized for characterization experiments: keeps
     /// per-figure Monte-Carlo runs fast while leaving enough cells
     /// (64 × 4096 = 256 Ki cells) for RBER resolution down to ~1e-5.
     pub fn characterization() -> Self {
-        Self {
-            blocks: 1,
-            wordlines_per_block: 64,
-            bitlines: 4096,
-        }
+        Self { blocks: 1, wordlines_per_block: 64, bitlines: 4096 }
     }
 
     /// Pages per block (2 pages per wordline in MLC).
@@ -100,10 +88,7 @@ impl Geometry {
         if wordline < self.wordlines_per_block {
             Ok(())
         } else {
-            Err(FlashError::WordlineOutOfRange {
-                wordline,
-                wordlines: self.wordlines_per_block,
-            })
+            Err(FlashError::WordlineOutOfRange { wordline, wordlines: self.wordlines_per_block })
         }
     }
 
@@ -112,10 +97,7 @@ impl Geometry {
         if page < self.pages_per_block() {
             Ok(())
         } else {
-            Err(FlashError::PageOutOfRange {
-                page,
-                pages: self.pages_per_block(),
-            })
+            Err(FlashError::PageOutOfRange { page, pages: self.pages_per_block() })
         }
     }
 }
@@ -153,7 +135,7 @@ impl PageAddr {
 
     /// Whether this page is the LSB or MSB page of its wordline.
     pub fn kind(&self) -> PageKind {
-        if self.page % 2 == 0 {
+        if self.page.is_multiple_of(2) {
             PageKind::Lsb
         } else {
             PageKind::Msb

@@ -101,10 +101,7 @@ impl BitErrorStats {
 
     /// Merges two measurements (e.g. across pages of a block).
     pub fn merge(self, other: Self) -> Self {
-        Self {
-            errors: self.errors + other.errors,
-            bits: self.bits + other.bits,
-        }
+        Self { errors: self.errors + other.errors, bits: self.bits + other.bits }
     }
 }
 

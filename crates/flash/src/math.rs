@@ -14,7 +14,8 @@ pub fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -76,10 +77,7 @@ pub fn gaussian_intersection(mean_lo: f64, sigma_lo: f64, mean_hi: f64, sigma_hi
     let r2 = (-b - disc.sqrt()) / (2.0 * a);
     // Pick the root between the means; otherwise fall back to the midpoint.
     let mid = 0.5 * (mean_lo + mean_hi);
-    [r1, r2]
-        .into_iter()
-        .find(|r| *r > mean_lo && *r < mean_hi)
-        .unwrap_or(mid)
+    [r1, r2].into_iter().find(|r| *r > mean_lo && *r < mean_hi).unwrap_or(mid)
 }
 
 #[cfg(test)]

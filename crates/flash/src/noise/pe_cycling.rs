@@ -50,10 +50,7 @@ mod tests {
         let params = ChipParams::default();
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..1000 {
-            assert_eq!(
-                place_state(&mut rng, &params, CellState::P2, 0),
-                CellState::P2
-            );
+            assert_eq!(place_state(&mut rng, &params, CellState::P2, 0), CellState::P2);
         }
     }
 
@@ -71,10 +68,7 @@ mod tests {
         }
         let rate = missed as f64 / n as f64;
         let expect = params.misprogram_prob(pe);
-        assert!(
-            (rate / expect - 1.0).abs() < 0.1,
-            "rate {rate} vs expected {expect}"
-        );
+        assert!((rate / expect - 1.0).abs() < 0.1, "rate {rate} vs expected {expect}");
     }
 
     #[test]

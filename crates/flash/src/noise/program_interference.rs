@@ -14,8 +14,7 @@ mod tests {
 
     #[test]
     fn interference_broadens_in_quadrature() {
-        let mut p = ChipParams::default();
-        p.program_interference_sigma = 0.0;
+        let mut p = ChipParams { program_interference_sigma: 0.0, ..ChipParams::default() };
         let clean = p.state_dist(CellState::P1, 0).sigma;
         p.program_interference_sigma = 5.0;
         let noisy = p.state_dist(CellState::P1, 0).sigma;

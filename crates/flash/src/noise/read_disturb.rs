@@ -133,10 +133,7 @@ mod tests {
         for (v0, s, dose) in [(40.0, 1.0, 1e5), (160.0, 3.0, 1e6), (40.0, 120.0, 5e5)] {
             let direct = disturbed_vth(&p, v0, s, dose);
             let iter = disturbed_vth_iterative(&p, v0, s, dose, 50);
-            assert!(
-                (direct - iter).abs() < 1e-9,
-                "v0={v0} s={s} dose={dose}: {direct} vs {iter}"
-            );
+            assert!((direct - iter).abs() < 1e-9, "v0={v0} s={s} dose={dose}: {direct} vs {iter}");
         }
     }
 
@@ -152,10 +149,7 @@ mod tests {
         for x in [10.0f64, 100.0] {
             let frac = samples.iter().filter(|s| **s > x).count() as f64 / n as f64;
             let expect = x.powf(-a);
-            assert!(
-                (frac / expect - 1.0).abs() < 0.15,
-                "P(s>{x}) = {frac}, expected {expect}"
-            );
+            assert!((frac / expect - 1.0).abs() < 0.15, "P(s>{x}) = {frac}, expected {expect}");
         }
     }
 

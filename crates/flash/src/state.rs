@@ -160,11 +160,7 @@ impl VoltageRefs {
     /// Returns a copy with every reference shifted by `delta` (the
     /// read-retry primitive: real chips step all references of a wordline).
     pub fn shifted(&self, delta: f64) -> Self {
-        Self {
-            va: self.va + delta,
-            vb: self.vb + delta,
-            vc: self.vc + delta,
-        }
+        Self { va: self.va + delta, vb: self.vb + delta, vc: self.vc + delta }
     }
 }
 
@@ -172,11 +168,7 @@ impl Default for VoltageRefs {
     /// Default references positioned between the default state means
     /// (see [`crate::ChipParams`]).
     fn default() -> Self {
-        Self {
-            va: 100.0,
-            vb: 225.0,
-            vc: 355.0,
-        }
+        Self { va: 100.0, vb: 225.0, vc: 355.0 }
     }
 }
 

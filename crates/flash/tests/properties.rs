@@ -91,13 +91,13 @@ proptest! {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut buf = bits::zeroed(nbits);
         let mut truth = vec![false; nbits];
-        for i in 0..nbits {
+        for (i, slot) in truth.iter_mut().enumerate() {
             let v = rng.gen::<bool>();
             bits::set_bit(&mut buf, i, v);
-            truth[i] = v;
+            *slot = v;
         }
-        for i in 0..nbits {
-            prop_assert_eq!(bits::get_bit(&buf, i), truth[i]);
+        for (i, &expected) in truth.iter().enumerate() {
+            prop_assert_eq!(bits::get_bit(&buf, i), expected);
         }
     }
 

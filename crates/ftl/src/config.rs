@@ -56,10 +56,7 @@ impl SsdConfig {
     /// zero ECC capability).
     pub fn validate(&self) {
         assert!(self.geometry.blocks >= 4, "need at least 4 blocks");
-        assert!(
-            (0.01..0.9).contains(&self.overprovision),
-            "overprovision must be in (0.01, 0.9)"
-        );
+        assert!((0.01..0.9).contains(&self.overprovision), "overprovision must be in (0.01, 0.9)");
         assert!(self.gc_free_threshold >= 1);
         assert!(self.refresh_interval_days > 0.0);
         assert!(self.page_capability() >= 1, "page ECC capability is zero");

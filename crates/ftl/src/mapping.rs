@@ -81,10 +81,7 @@ impl PageMap {
     ///
     /// Panics if the block still holds valid pages.
     pub fn assert_block_empty(&self, block: u32) {
-        assert_eq!(
-            self.valid_count[block as usize], 0,
-            "erasing block {block} with valid pages"
-        );
+        assert_eq!(self.valid_count[block as usize], 0, "erasing block {block} with valid pages");
     }
 
     /// Valid `(page, lpa)` pairs of a block (for GC relocation).

@@ -91,11 +91,7 @@ impl MitigationPolicy for ReadReclaim {
         block: u32,
         _outcome: &ReadOutcome,
     ) -> PolicyAction {
-        let reads = ctx
-            .chip
-            .block_status(block)
-            .map(|s| s.reads_since_erase)
-            .unwrap_or(0);
+        let reads = ctx.chip.block_status(block).map(|s| s.reads_since_erase).unwrap_or(0);
         if reads >= self.read_threshold {
             PolicyAction::ReclaimBlock(block)
         } else {

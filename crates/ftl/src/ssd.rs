@@ -136,9 +136,7 @@ impl<P: MitigationPolicy> Ssd<P> {
 
     /// Blocks currently holding valid data.
     pub fn valid_blocks(&self) -> Vec<u32> {
-        (0..self.config.geometry.blocks)
-            .filter(|&b| self.map.valid_count(b) > 0)
-            .collect()
+        (0..self.config.geometry.blocks).filter(|&b| self.map.valid_count(b) > 0).collect()
     }
 
     /// Writes a logical page (host write). Fresh pseudo-random content is
@@ -168,11 +166,7 @@ impl<P: MitigationPolicy> Ssd<P> {
         let capability = self.config.page_capability();
         if outcome.stats.errors > capability {
             self.stats.uncorrectable_reads += 1;
-            return Err(FtlError::Uncorrectable {
-                lpa,
-                errors: outcome.stats.errors,
-                capability,
-            });
+            return Err(FtlError::Uncorrectable { lpa, errors: outcome.stats.errors, capability });
         }
         self.stats.corrected_bits += outcome.stats.errors;
         // ECC corrected the read: return the original (intended) data.
@@ -223,12 +217,7 @@ impl<P: MitigationPolicy> Ssd<P> {
         let stale: Vec<u32> = self
             .valid_blocks()
             .into_iter()
-            .filter(|&b| {
-                self.chip
-                    .block_status(b)
-                    .map(|s| s.age_days >= interval)
-                    .unwrap_or(false)
-            })
+            .filter(|&b| self.chip.block_status(b).map(|s| s.age_days >= interval).unwrap_or(false))
             .collect();
         for block in stale {
             self.relocate_block(block, WriteClass::Refresh)?;
@@ -310,7 +299,9 @@ impl<P: MitigationPolicy> Ssd<P> {
             .free
             .iter()
             .enumerate()
-            .min_by_key(|(_, &b)| self.chip.block_status(b).map(|s| s.pe_cycles).unwrap_or(u64::MAX))
+            .min_by_key(|(_, &b)| {
+                self.chip.block_status(b).map(|s| s.pe_cycles).unwrap_or(u64::MAX)
+            })
             .expect("non-empty");
         Ok(self.free.swap_remove(idx))
     }

@@ -96,10 +96,7 @@ mod tests {
         // Observed top-share tracks the Zipf closed form (within sampling noise).
         let expected = p.hottest_block_read_share();
         let observed = stats.hottest_block_read_share();
-        assert!(
-            (observed / expected - 1.0).abs() < 0.25,
-            "top share {observed} vs {expected}"
-        );
+        assert!((observed / expected - 1.0).abs() < 0.25, "top share {observed} vs {expected}");
     }
 
     #[test]

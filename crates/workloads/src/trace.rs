@@ -149,10 +149,8 @@ mod tests {
     fn read_fraction_matches_profile() {
         let p = profile();
         let n = 100_000usize;
-        let reads = TraceGenerator::new(&p, 5, 64)
-            .take(n)
-            .filter(|o| o.kind == OpKind::Read)
-            .count();
+        let reads =
+            TraceGenerator::new(&p, 5, 64).take(n).filter(|o| o.kind == OpKind::Read).count();
         let frac = reads as f64 / n as f64;
         assert!((frac - p.read_fraction).abs() < 0.01, "{frac}");
     }

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Finding 1 (Fig. 2): disturb shifts the low states upward.
     let fig2 = fig2_vth_histograms(scale, 7)?;
     println!("Finding 1 - threshold-voltage shift under read disturb (8K P/E):");
-    println!("{:>10} {:>10} {:>10} {:>10} {:>10}", "reads", "ER mean", "P1 mean", "P2 mean", "P3 mean");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10}",
+        "reads", "ER mean", "P1 mean", "P2 mean", "P3 mean"
+    );
     for (reads, hist) in &fig2.snapshots {
         println!(
             "{:>10} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",

@@ -1,0 +1,24 @@
+//! Prints every golden-run output at full precision.
+//!
+//! Run after an *intentional* behavior change to regenerate the golden table
+//! in `tests/golden_runs.rs`:
+//!
+//! ```sh
+//! cargo run --release --example golden_dump
+//! ```
+
+use readdisturb_repro::testsupport::all_golden_runs;
+
+fn main() {
+    for run in all_golden_runs() {
+        println!("== {} ==", run.name);
+        for (key, value) in &run.values {
+            println!("    (\"{key}\", {value:?}),");
+        }
+    }
+    println!();
+    println!("-- fingerprints (bit-exact) --");
+    for run in all_golden_runs() {
+        println!("{}:\n{}", run.name, run.fingerprint());
+    }
+}

@@ -25,7 +25,9 @@ fn ssd_config() -> SsdConfig {
 
 /// Replays two weeks of a read-hot workload against an SSD, returning
 /// (corrected bits, uncorrectable reads, mean tuned reduction %).
-fn replay<P: MitigationPolicy>(mut ssd: Ssd<P>) -> Result<(u64, u64, f64), Box<dyn std::error::Error>> {
+fn replay<P: MitigationPolicy>(
+    mut ssd: Ssd<P>,
+) -> Result<(u64, u64, f64), Box<dyn std::error::Error>> {
     // Pre-wear the device so disturb effects are visible within the demo.
     for b in 0..ssd.config().geometry.blocks {
         ssd.chip_mut().cycle_block(b, 6_000)?;
@@ -43,7 +45,7 @@ fn replay<P: MitigationPolicy>(mut ssd: Ssd<P>) -> Result<(u64, u64, f64), Box<d
     while clock_s < sim_days * 86_400.0 {
         let op = gen.next().expect("infinite generator");
         n += 1;
-        if n % thin != 0 {
+        if !n.is_multiple_of(thin) {
             clock_s = op.time_s;
             continue;
         }

@@ -1,0 +1,11 @@
+//! Root harness for the DSN 2015 read-disturb reproduction.
+//!
+//! The interesting code lives under `crates/`; this crate owns the
+//! repository-level test pyramid: the calibration + integration suites in
+//! `tests/`, the runnable `examples/`, and [`testsupport`] — seeded fixtures
+//! and the golden-run regression harness those suites share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod testsupport;

@@ -1,0 +1,107 @@
+//! Golden-run regression suite: reduced versions of the paper's headline
+//! experiments, pinned to checked-in golden values.
+//!
+//! Two layers of protection for every future perf/refactor PR:
+//!
+//! * **Determinism** — the same seed must produce *bit-identical* outputs
+//!   across consecutive runs ([`golden_runs_are_bit_identical_across_runs`]).
+//! * **Golden values** — each experiment's outputs must stay within an
+//!   explicit tolerance of the values recorded at bootstrap
+//!   (regenerate deliberately with `cargo run --release --example
+//!   golden_dump` and justify the diff in the PR).
+//!
+//! Golden values recorded at `GOLDEN_SEED = 2015` on the `tiny_scale`
+//! (8 wordlines × 512 bitlines) substrate.
+
+use readdisturb_repro::testsupport::{
+    all_golden_runs, rber_growth_run, rdr_recovery_run, vpass_tuning_run, GOLDEN_SEED,
+};
+
+#[test]
+fn golden_runs_are_bit_identical_across_runs() {
+    let first: Vec<String> = all_golden_runs().iter().map(|r| r.fingerprint()).collect();
+    let second: Vec<String> = all_golden_runs().iter().map(|r| r.fingerprint()).collect();
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a, b, "same seed must give bit-identical experiment output");
+    }
+}
+
+/// Paper anchor 1 (Fig. 3): RBER grows superlinearly with read count on a
+/// worn block; at 8K P/E the growth slope is a few 1e-9 per read.
+#[test]
+fn golden_rber_growth() {
+    let run = rber_growth_run(GOLDEN_SEED);
+
+    run.assert_close("rber_at_0_reads", 0.0003662109375, 0.25);
+    run.assert_close("rber_at_100000_reads", 0.00146484375, 0.25);
+    run.assert_close("rber_at_500000_reads", 0.0025634765625, 0.25);
+    run.assert_close("rber_at_1000000_reads", 0.005615234375, 0.25);
+    run.assert_close("slope_per_read", 5.2490234375e-9, 0.25);
+
+    // Shape, independent of the exact goldens: strictly increasing RBER,
+    // and ≥ 10x growth over the million-read span (the paper's Fig. 3
+    // curves rise by well over an order of magnitude).
+    let curve: Vec<f64> = run.values[..4].iter().map(|&(_, v)| v).collect();
+    assert!(curve.windows(2).all(|w| w[0] < w[1]), "RBER must grow with read count: {curve:?}");
+    assert!(curve[3] > 10.0 * curve[0], "1M reads must grow RBER by >10x: {curve:?}");
+}
+
+/// Paper anchor 2 (Fig. 8): Vpass Tuning extends P/E endurance for every
+/// workload; the paper's headline average improvement is 21%.
+#[test]
+fn golden_vpass_tuning_gain() {
+    let run = vpass_tuning_run(GOLDEN_SEED);
+
+    run.assert_close("iozone_baseline_pe", 7841.0, 0.02);
+    run.assert_close("iozone_tuned_pe", 10703.0, 0.02);
+    run.assert_close("msr-hm0_baseline_pe", 10470.0, 0.02);
+    run.assert_close("msr-hm0_tuned_pe", 11078.0, 0.02);
+    run.assert_close("umass-web_baseline_pe", 6606.0, 0.02);
+    run.assert_close("umass-web_tuned_pe", 10442.0, 0.02);
+    run.assert_close("average_gain", 0.33458645610171356, 0.05);
+
+    // Direction, independent of the exact goldens: every workload gains,
+    // and the average gain is at least the paper-order 15%.
+    for name in ["iozone", "msr-hm0", "umass-web"] {
+        assert!(run.get(&format!("{name}_gain")) > 0.0, "{name}: tuning must extend endurance");
+    }
+    assert!(
+        run.get("average_gain") > 0.15,
+        "average endurance gain {} below the paper-order threshold",
+        run.get("average_gain")
+    );
+}
+
+/// Paper anchor 3 (Fig. 10): RDR removes a large fraction of the raw bit
+/// errors of a heavily-read block (paper: up to 36% at 1M reads).
+#[test]
+fn golden_rdr_recovery() {
+    let run = rdr_recovery_run(GOLDEN_SEED);
+
+    run.assert_close("rber_no_recovery", 0.0057373046875, 0.25);
+    run.assert_close("rber_with_rdr", 0.0030517578125, 0.25);
+    run.assert_close("error_reduction", 0.46808510638297873, 0.20);
+
+    // Direction, independent of the exact goldens.
+    assert!(run.get("rber_with_rdr") < run.get("rber_no_recovery"), "RDR must reduce RBER");
+    assert!(
+        run.get("error_reduction") > 0.25,
+        "RDR error reduction {} below the paper-order threshold",
+        run.get("error_reduction")
+    );
+    assert!(run.get("reclassified_cells") > 0.0, "RDR must act on some cells");
+}
+
+/// Changing the seed must change the Monte-Carlo outputs (guards against a
+/// fixture accidentally ignoring its seed, which would make the determinism
+/// test vacuous).
+#[test]
+fn golden_runs_depend_on_seed() {
+    let a = rber_growth_run(GOLDEN_SEED);
+    let b = rber_growth_run(GOLDEN_SEED + 1);
+    assert_ne!(a.fingerprint(), b.fingerprint());
+
+    let a = rdr_recovery_run(GOLDEN_SEED);
+    let b = rdr_recovery_run(GOLDEN_SEED + 1);
+    assert_ne!(a.fingerprint(), b.fingerprint());
+}

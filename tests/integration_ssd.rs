@@ -6,7 +6,11 @@ use readdisturb::workloads::OpKind;
 
 fn config(seed: u64) -> SsdConfig {
     SsdConfig {
-        geometry: readdisturb::flash::Geometry { blocks: 16, wordlines_per_block: 8, bitlines: 2048 },
+        geometry: readdisturb::flash::Geometry {
+            blocks: 16,
+            wordlines_per_block: 8,
+            bitlines: 2048,
+        },
         overprovision: 0.25,
         gc_free_threshold: 2,
         refresh_interval_days: 7.0,
@@ -28,7 +32,7 @@ fn replay(seed: u64, days: f64, profile: &str) -> Ssd {
         let op = gen.next().unwrap();
         n += 1;
         clock_s = op.time_s;
-        if n % 1000 != 0 {
+        if !n.is_multiple_of(1000) {
             continue; // thin the trace: keep the mix, bound the runtime
         }
         ssd.advance_time((op.time_s / 86_400.0 - ssd.clock_days()).max(0.0)).unwrap();
@@ -63,10 +67,7 @@ fn refresh_bounds_block_data_age() {
     let interval = ssd.config().refresh_interval_days;
     for b in ssd.valid_blocks() {
         let age = ssd.chip().block_status(b).unwrap().age_days;
-        assert!(
-            age <= interval + 1.5,
-            "block {b} data is {age:.1} days old (interval {interval})"
-        );
+        assert!(age <= interval + 1.5, "block {b} data is {age:.1} days old (interval {interval})");
     }
 }
 

@@ -1,0 +1,110 @@
+//! Offline stub of the subset of the `criterion` API used by this workspace.
+//!
+//! The build environment has no access to crates.io, so benches link against
+//! this minimal harness: same macros and types (`criterion_group!`,
+//! `criterion_main!`, [`Criterion`], [`black_box`]), but measurement is a
+//! simple best-of-N wall-clock timer printed as `ns/iter` — no statistics,
+//! HTML reports, or command-line filtering.
+
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timer handed to each `bench_function` closure.
+pub struct Bencher {
+    iters: u64,
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, keeping the best-per-iteration figure across a few batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up call, then `iters` timed batches of one call
+        // each, keeping the minimum — cheap and stable enough for a smoke
+        // harness that exists to catch order-of-magnitude regressions.
+        black_box(f());
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            let ns = start.elapsed().as_nanos() as f64;
+            if ns < self.best_ns {
+                self.best_ns = ns;
+            }
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: self.criterion.sample_size, best_ns: f64::INFINITY };
+        f(&mut b);
+        println!("bench {}/{:<40} {:>14.0} ns/iter", self.name, id, b.best_ns);
+        self
+    }
+
+    /// Ends the group (report separator in the real crate; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), criterion: self }
+    }
+
+    /// Runs one named benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: self.sample_size, best_ns: f64::INFINITY };
+        f(&mut b);
+        println!("bench {:<48} {:>14.0} ns/iter", id, b.best_ns);
+        self
+    }
+}
+
+/// Declares a group function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
