@@ -31,6 +31,25 @@ pub fn emit_csv(name: &str, header: &str, rows: &[String]) {
     }
 }
 
+/// Writes one JSON object per line to `target/figures/<name>.jsonl` and
+/// echoes every row to stdout (the engine-scaling sweeps emit JSON rows
+/// instead of CSV so nested per-die fields stay greppable).
+///
+/// # Panics
+///
+/// Panics on I/O failure (these are experiment binaries).
+pub fn emit_jsonl(name: &str, rows: &[String]) {
+    let dir = PathBuf::from("target/figures");
+    fs::create_dir_all(&dir).expect("create target/figures");
+    let path = dir.join(format!("{name}.jsonl"));
+    let mut file = fs::File::create(&path).expect("create jsonl");
+    for row in rows {
+        writeln!(file, "{row}").expect("write row");
+        println!("{row}");
+    }
+    println!("# {name}: {} rows -> {}", rows.len(), path.display());
+}
+
 /// Prints a paper-vs-measured comparison line (the per-figure shape check
 /// recorded in EXPERIMENTS.md).
 pub fn shape_check(label: &str, measured: f64, paper: f64) {

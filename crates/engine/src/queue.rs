@@ -1,0 +1,175 @@
+//! NVMe-style submission and completion queues.
+//!
+//! Hosts enqueue [`IoRequest`]s into the [`SubmissionQueue`]; the engine's
+//! scheduler drains them in arrival order, stripes them over dies, and posts
+//! an [`IoCompletion`] per request — carrying the simulated submit/start/
+//! complete timestamps from which latency percentiles are computed — into
+//! the [`CompletionQueue`].
+
+use std::collections::VecDeque;
+
+use rd_ftl::FtlError;
+
+/// Kind of a host request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReqKind {
+    /// Read one logical page.
+    Read,
+    /// Write one logical page (fresh pseudo-random content, as the paper's
+    /// characterization writes).
+    Write,
+}
+
+/// One host request against the engine's logical address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoRequest {
+    /// Command identifier, unique per engine, assigned at submission.
+    pub id: u64,
+    /// Request kind.
+    pub kind: ReqKind,
+    /// Engine-level logical page address (striped over dies).
+    pub lpa: u64,
+}
+
+/// Completion record of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoCompletion {
+    /// Command identifier from the matching [`IoRequest`].
+    pub id: u64,
+    /// Request kind.
+    pub kind: ReqKind,
+    /// Engine-level logical page address.
+    pub lpa: u64,
+    /// Die that served the request.
+    pub die: u32,
+    /// Simulated time the request became eligible for dispatch (µs).
+    pub submit_us: f64,
+    /// Simulated time service began on the die (µs).
+    pub start_us: f64,
+    /// Simulated completion time (µs).
+    pub complete_us: f64,
+    /// Raw bit errors ECC corrected (reads only).
+    pub corrected_errors: u64,
+    /// `Ok` or the FTL error the request ended with (`NotWritten` reads and
+    /// uncorrectable reads complete with their error rather than aborting
+    /// the batch).
+    pub result: Result<(), FtlError>,
+    /// Decoded page data, when the engine was configured to capture it.
+    pub data: Option<Vec<u8>>,
+}
+
+impl IoCompletion {
+    /// End-to-end latency: queueing plus service (µs).
+    pub fn latency_us(&self) -> f64 {
+        self.complete_us - self.submit_us
+    }
+}
+
+/// FIFO of requests awaiting dispatch.
+#[derive(Debug, Default)]
+pub struct SubmissionQueue {
+    entries: VecDeque<IoRequest>,
+}
+
+impl SubmissionQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a request.
+    pub fn push(&mut self, req: IoRequest) {
+        self.entries.push_back(req);
+    }
+
+    /// Removes and returns every queued request, oldest first.
+    pub fn drain(&mut self) -> Vec<IoRequest> {
+        self.entries.drain(..).collect()
+    }
+
+    /// Queued requests.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// FIFO of posted completions, ordered by simulated completion time.
+#[derive(Debug, Default)]
+pub struct CompletionQueue {
+    entries: VecDeque<IoCompletion>,
+}
+
+impl CompletionQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Posts a completion.
+    pub fn push(&mut self, c: IoCompletion) {
+        self.entries.push_back(c);
+    }
+
+    /// Pops the oldest completion, if any.
+    pub fn pop(&mut self) -> Option<IoCompletion> {
+        self.entries.pop_front()
+    }
+
+    /// Removes and returns every posted completion, oldest first.
+    pub fn drain(&mut self) -> Vec<IoCompletion> {
+        self.entries.drain(..).collect()
+    }
+
+    /// Posted completions not yet consumed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queues_are_fifo() {
+        let mut sq = SubmissionQueue::new();
+        sq.push(IoRequest { id: 1, kind: ReqKind::Write, lpa: 0 });
+        sq.push(IoRequest { id: 2, kind: ReqKind::Read, lpa: 0 });
+        assert_eq!(sq.len(), 2);
+        let drained = sq.drain();
+        assert!(sq.is_empty());
+        assert_eq!(drained[0].id, 1);
+        assert_eq!(drained[1].id, 2);
+    }
+
+    #[test]
+    fn completion_latency() {
+        let c = IoCompletion {
+            id: 7,
+            kind: ReqKind::Read,
+            lpa: 3,
+            die: 0,
+            submit_us: 10.0,
+            start_us: 40.0,
+            complete_us: 115.0,
+            corrected_errors: 0,
+            result: Ok(()),
+            data: None,
+        };
+        assert!((c.latency_us() - 105.0).abs() < 1e-12);
+        let mut cq = CompletionQueue::new();
+        cq.push(c);
+        assert_eq!(cq.pop().unwrap().id, 7);
+        assert!(cq.pop().is_none());
+    }
+}

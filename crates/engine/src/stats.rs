@@ -1,0 +1,158 @@
+//! Aggregate engine statistics: throughput, latency percentiles, and the
+//! per-die reliability counters the paper's SSD-scale evaluation tracks.
+
+use rd_ftl::SsdStats;
+
+/// Per-die snapshot inside an [`EngineStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieStats {
+    /// Die index (channel-major).
+    pub die: u32,
+    /// Channel the die sits on.
+    pub channel: u32,
+    /// Host requests served by this die.
+    pub ops: u64,
+    /// Total simulated busy time of the die (µs), including background work.
+    pub busy_us: f64,
+    /// Highest `reads_since_erase` over the die's blocks — the die's current
+    /// worst-case read-disturb accumulation point.
+    pub hottest_block_reads: u64,
+    /// The die's controller counters (writes, erases, corrected bits, …).
+    pub ssd: SsdStats,
+}
+
+/// Aggregate statistics of an engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStats {
+    /// Channels in the array.
+    pub channels: u32,
+    /// Dies in the array.
+    pub dies: u32,
+    /// Host requests completed.
+    pub ops: u64,
+    /// Read requests completed (including failed lookups).
+    pub reads: u64,
+    /// Write requests completed.
+    pub writes: u64,
+    /// Reads that hit a never-written page (completed with `NotWritten`).
+    pub reads_not_written: u64,
+    /// Writes that completed with an error (out of space / out of range) —
+    /// they consumed schedule time but stored nothing.
+    pub writes_failed: u64,
+    /// Reads whose raw errors exceeded the ECC capability.
+    pub uncorrectable_reads: u64,
+    /// Raw bit errors corrected across all dies (host reads + relocations).
+    pub corrected_bits: u64,
+    /// Simulated time at which the last request completed (µs).
+    pub makespan_us: f64,
+    /// Median end-to-end request latency (µs).
+    pub latency_p50_us: f64,
+    /// 99th-percentile end-to-end request latency (µs).
+    pub latency_p99_us: f64,
+    /// Mean end-to-end request latency (µs).
+    pub latency_mean_us: f64,
+    /// FNV-1a digest folded over every decoded read payload in die order —
+    /// a bit-exact fingerprint of all data the engine served.
+    pub data_digest: u64,
+    /// Per-die breakdown, indexed by die id.
+    pub per_die: Vec<DieStats>,
+}
+
+impl EngineStats {
+    /// Simulated throughput in I/O operations per second.
+    pub fn iops(&self) -> f64 {
+        if self.makespan_us <= 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / (self.makespan_us / 1e6)
+        }
+    }
+
+    /// Sum of the per-die controller counters.
+    pub fn totals(&self) -> SsdStats {
+        let mut t = SsdStats::default();
+        for d in &self.per_die {
+            t += d.ssd;
+        }
+        t
+    }
+}
+
+/// The `q`-quantile (0..=1) of a latency sample by nearest-rank on a sorted
+/// copy. Returns 0 for an empty sample.
+pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// FNV-1a offset basis (the digest's initial state).
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into an FNV-1a 64-bit digest.
+pub(crate) fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iops_and_totals() {
+        let mut s = EngineStats {
+            channels: 1,
+            dies: 2,
+            ops: 1000,
+            reads: 800,
+            writes: 200,
+            reads_not_written: 5,
+            writes_failed: 0,
+            uncorrectable_reads: 0,
+            corrected_bits: 42,
+            makespan_us: 500_000.0,
+            latency_p50_us: 75.0,
+            latency_p99_us: 300.0,
+            latency_mean_us: 90.0,
+            data_digest: FNV_OFFSET,
+            per_die: Vec::new(),
+        };
+        assert!((s.iops() - 2000.0).abs() < 1e-9);
+        s.makespan_us = 0.0;
+        assert_eq!(s.iops(), 0.0);
+        let a = SsdStats { host_reads: 3, erases: 1, ..Default::default() };
+        let b = SsdStats { host_reads: 4, corrected_bits: 9, ..Default::default() };
+        s.per_die = vec![
+            DieStats { die: 0, channel: 0, ops: 3, busy_us: 1.0, hottest_block_reads: 0, ssd: a },
+            DieStats { die: 1, channel: 0, ops: 4, busy_us: 2.0, hottest_block_reads: 7, ssd: b },
+        ];
+        let t = s.totals();
+        assert_eq!(t.host_reads, 7);
+        assert_eq!(t.erases, 1);
+        assert_eq!(t.corrected_bits, 9);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert!((percentile(&v, 0.5) - 51.0).abs() < 1.01);
+        assert!(percentile(&v, 0.99) >= 98.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn fnv_digest_is_order_sensitive() {
+        let a = fnv1a(FNV_OFFSET, &[1, 2, 3]);
+        let b = fnv1a(FNV_OFFSET, &[3, 2, 1]);
+        assert_ne!(a, b);
+        assert_eq!(a, fnv1a(FNV_OFFSET, &[1, 2, 3]));
+    }
+}

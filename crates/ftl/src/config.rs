@@ -37,6 +37,22 @@ impl SsdConfig {
         }
     }
 
+    /// The per-die shape the engine-scale suites share (integration parity
+    /// test, `engine_replay` example, `ext_engine_scaling` sweep): large
+    /// enough for realistic GC/ECC behaviour, small enough to replay
+    /// 100k-op traces quickly.
+    pub fn engine_scale(seed: u64) -> Self {
+        Self {
+            geometry: Geometry { blocks: 16, wordlines_per_block: 8, bitlines: 2048 },
+            chip_params: ChipParams::default(),
+            overprovision: 0.25,
+            gc_free_threshold: 2,
+            refresh_interval_days: 7.0,
+            ecc_capability_rber: 2.0e-3,
+            seed,
+        }
+    }
+
     /// Number of logical pages exported to the host.
     pub fn logical_pages(&self) -> u64 {
         let physical = self.geometry.blocks as u64 * self.geometry.pages_per_block() as u64;

@@ -13,6 +13,11 @@
 //! * a [`MitigationPolicy`] hook through which `rd-core` plugs Vpass Tuning
 //!   into the same controller.
 //!
+//! The per-die controller state lives in [`Die`]; [`Ssd`] wraps exactly one
+//! die (the historical single-chip API) and the multi-die engine
+//! (`rd-engine`) arrays many of them, so both share semantics by
+//! construction.
+//!
 //! ```
 //! use rd_ftl::{Ssd, SsdConfig};
 //!
@@ -29,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod die;
 pub mod error;
 pub mod mapping;
 pub mod policy;
@@ -36,8 +42,9 @@ pub mod ssd;
 pub mod stats;
 
 pub use config::SsdConfig;
+pub use die::{Die, HostRead};
 pub use error::FtlError;
 pub use mapping::{PageMap, Ppa};
 pub use policy::{MitigationPolicy, NoMitigation, PolicyAction, PolicyContext, ReadReclaim};
-pub use ssd::{HostRead, Ssd};
+pub use ssd::Ssd;
 pub use stats::SsdStats;

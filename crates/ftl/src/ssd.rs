@@ -1,55 +1,25 @@
-//! The SSD: FTL, garbage collection, refresh, and policy orchestration over
-//! the simulated chip.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use rd_flash::{bits, Chip};
+//! The single-chip SSD: a thin facade over one [`Die`].
+//!
+//! All controller mechanics (FTL, garbage collection, refresh, policy
+//! orchestration) live in [`crate::die`]; `Ssd` pins exactly one die behind
+//! the historical single-chip API. The multi-die engine (`rd-engine`) builds
+//! on the same [`Die`] type, so the two paths share semantics by
+//! construction.
 
 use crate::config::SsdConfig;
+use crate::die::Die;
 use crate::error::FtlError;
-use crate::mapping::{PageMap, Ppa};
-use crate::policy::{MitigationPolicy, NoMitigation, PolicyAction, PolicyContext};
+use crate::mapping::PageMap;
+use crate::policy::{MitigationPolicy, NoMitigation};
 use crate::stats::SsdStats;
+use rd_flash::Chip;
 
-/// Result of a host read.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct HostRead {
-    /// Page data after a successful ECC decode.
-    pub data: Vec<u8>,
-    /// Raw bit errors ECC corrected for this read.
-    pub corrected_errors: u64,
-    /// Bitlines blocked by pass-through failures during the read.
-    pub blocked_bitlines: u64,
-    /// Physical location served.
-    pub ppa: Ppa,
-}
+pub use crate::die::HostRead;
 
-/// Why a relocation write happened (statistics bucket).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum WriteClass {
-    Host,
-    Gc,
-    Refresh,
-    Reclaim,
-}
-
-/// The simulated SSD.
+/// The simulated single-chip SSD.
 #[derive(Debug)]
 pub struct Ssd<P: MitigationPolicy = NoMitigation> {
-    config: SsdConfig,
-    chip: Chip,
-    map: PageMap,
-    policy: P,
-    free: Vec<u32>,
-    active: Option<(u32, u32)>,
-    in_gc: bool,
-    /// Block currently being evacuated (excluded from GC victim selection).
-    relocating: Option<u32>,
-    stats: SsdStats,
-    data_rng: StdRng,
-    clock_days: f64,
-    next_day: f64,
+    die: Die<P>,
 }
 
 impl Ssd<NoMitigation> {
@@ -74,69 +44,52 @@ impl<P: MitigationPolicy> Ssd<P> {
     ///
     /// Panics if the configuration fails validation.
     pub fn with_policy(config: SsdConfig, policy: P) -> Result<Self, FtlError> {
-        config.validate();
-        let chip = Chip::new(config.geometry, config.chip_params.clone(), config.seed);
-        let map = PageMap::new(
-            config.logical_pages(),
-            config.geometry.blocks,
-            config.geometry.pages_per_block(),
-        );
-        let free: Vec<u32> = (0..config.geometry.blocks).collect();
-        let data_rng = StdRng::seed_from_u64(config.seed ^ 0x5EED_DA7A);
-        Ok(Self {
-            config,
-            chip,
-            map,
-            policy,
-            free,
-            active: None,
-            in_gc: false,
-            relocating: None,
-            stats: SsdStats::default(),
-            data_rng,
-            clock_days: 0.0,
-            next_day: 1.0,
-        })
+        Ok(Self { die: Die::with_policy(config, policy)? })
     }
 
     /// The SSD configuration.
     pub fn config(&self) -> &SsdConfig {
-        &self.config
+        self.die.config()
     }
 
     /// Controller statistics.
     pub fn stats(&self) -> SsdStats {
-        self.stats
+        self.die.stats()
     }
 
     /// Elapsed simulated time in days.
     pub fn clock_days(&self) -> f64 {
-        self.clock_days
+        self.die.clock_days()
     }
 
     /// Read-only chip access.
     pub fn chip(&self) -> &Chip {
-        &self.chip
+        self.die.chip()
     }
 
     /// Mutable chip access (experiments may inject wear or disturbs).
     pub fn chip_mut(&mut self) -> &mut Chip {
-        &mut self.chip
+        self.die.chip_mut()
     }
 
     /// The mapping table (read-only).
     pub fn map(&self) -> &PageMap {
-        &self.map
+        self.die.map()
     }
 
     /// The mitigation policy.
     pub fn policy(&self) -> &P {
-        &self.policy
+        self.die.policy()
+    }
+
+    /// The underlying die (the engine-facing view of the same state).
+    pub fn die(&self) -> &Die<P> {
+        &self.die
     }
 
     /// Blocks currently holding valid data.
     pub fn valid_blocks(&self) -> Vec<u32> {
-        (0..self.config.geometry.blocks).filter(|&b| self.map.valid_count(b) > 0).collect()
+        self.die.valid_blocks()
     }
 
     /// Writes a logical page (host write). Fresh pseudo-random content is
@@ -146,9 +99,7 @@ impl<P: MitigationPolicy> Ssd<P> {
     ///
     /// Fails when `lpa` is out of range or the device runs out of space.
     pub fn write(&mut self, lpa: u64) -> Result<(), FtlError> {
-        self.check_lpa(lpa)?;
-        let data = bits::random(&mut self.data_rng, self.config.geometry.bits_per_page());
-        self.write_data(lpa, &data, WriteClass::Host)
+        self.die.write(lpa)
     }
 
     /// Reads a logical page through ECC.
@@ -159,35 +110,7 @@ impl<P: MitigationPolicy> Ssd<P> {
     /// * [`FtlError::Uncorrectable`] if raw errors exceed the ECC capability
     ///   (counted as a data-loss event, the paper's end-of-life criterion).
     pub fn read(&mut self, lpa: u64) -> Result<HostRead, FtlError> {
-        self.check_lpa(lpa)?;
-        let ppa = self.map.lookup(lpa).ok_or(FtlError::NotWritten { lpa })?;
-        let outcome = self.chip.read_page(ppa.block, ppa.page)?;
-        self.stats.host_reads += 1;
-        let capability = self.config.page_capability();
-        if outcome.stats.errors > capability {
-            self.stats.uncorrectable_reads += 1;
-            return Err(FtlError::Uncorrectable { lpa, errors: outcome.stats.errors, capability });
-        }
-        self.stats.corrected_bits += outcome.stats.errors;
-        // ECC corrected the read: return the original (intended) data.
-        let data = self.chip.intended_page_bits(ppa.block, ppa.page)?;
-        let action = {
-            let valid = self.valid_blocks();
-            let mut ctx = PolicyContext {
-                chip: &mut self.chip,
-                valid_blocks: &valid,
-                refresh_interval_days: self.config.refresh_interval_days,
-                page_capability: capability,
-            };
-            self.policy.after_read(&mut ctx, ppa.block, &outcome)
-        };
-        self.apply_action(action)?;
-        Ok(HostRead {
-            data,
-            corrected_errors: outcome.stats.errors,
-            blocked_bitlines: outcome.blocked_bitlines,
-            ppa,
-        })
+        self.die.read(lpa)
     }
 
     /// Advances simulated time, running daily maintenance (refresh scans and
@@ -197,178 +120,7 @@ impl<P: MitigationPolicy> Ssd<P> {
     ///
     /// Propagates relocation failures (e.g. out of space during refresh).
     pub fn advance_time(&mut self, days: f64) -> Result<(), FtlError> {
-        assert!(days >= 0.0);
-        let target = self.clock_days + days;
-        while self.clock_days < target {
-            let step = (self.next_day - self.clock_days).min(target - self.clock_days);
-            self.chip.advance_days(step);
-            self.clock_days += step;
-            if (self.clock_days - self.next_day).abs() < 1e-9 {
-                self.next_day += 1.0;
-                self.daily_maintenance()?;
-            }
-        }
-        Ok(())
-    }
-
-    fn daily_maintenance(&mut self) -> Result<(), FtlError> {
-        // Remapping-based refresh of blocks past the interval.
-        let interval = self.config.refresh_interval_days;
-        let stale: Vec<u32> = self
-            .valid_blocks()
-            .into_iter()
-            .filter(|&b| self.chip.block_status(b).map(|s| s.age_days >= interval).unwrap_or(false))
-            .collect();
-        for block in stale {
-            self.relocate_block(block, WriteClass::Refresh)?;
-            self.stats.refreshes += 1;
-        }
-        // Policy daily hook.
-        let actions = {
-            let valid = self.valid_blocks();
-            let mut ctx = PolicyContext {
-                chip: &mut self.chip,
-                valid_blocks: &valid,
-                refresh_interval_days: interval,
-                page_capability: self.config.page_capability(),
-            };
-            self.policy.daily(&mut ctx)
-        };
-        for action in actions {
-            self.apply_action(action)?;
-        }
-        Ok(())
-    }
-
-    fn apply_action(&mut self, action: PolicyAction) -> Result<(), FtlError> {
-        match action {
-            PolicyAction::None => Ok(()),
-            PolicyAction::ReclaimBlock(block) => {
-                self.relocate_block(block, WriteClass::Reclaim)?;
-                self.stats.reclaims += 1;
-                Ok(())
-            }
-        }
-    }
-
-    fn check_lpa(&self, lpa: u64) -> Result<(), FtlError> {
-        if lpa < self.map.logical_pages() {
-            Ok(())
-        } else {
-            Err(FtlError::LpaOutOfRange { lpa, capacity: self.map.logical_pages() })
-        }
-    }
-
-    fn write_data(&mut self, lpa: u64, data: &[u8], class: WriteClass) -> Result<(), FtlError> {
-        let ppa = self.alloc_page()?;
-        self.chip.program_page(ppa.block, ppa.page, data)?;
-        self.map.remap(lpa, ppa);
-        match class {
-            WriteClass::Host => self.stats.host_writes += 1,
-            WriteClass::Gc => self.stats.gc_writes += 1,
-            WriteClass::Refresh => self.stats.refresh_writes += 1,
-            WriteClass::Reclaim => self.stats.reclaim_writes += 1,
-        }
-        Ok(())
-    }
-
-    fn alloc_page(&mut self) -> Result<Ppa, FtlError> {
-        loop {
-            if let Some((block, next)) = self.active {
-                if next < self.config.geometry.pages_per_block() {
-                    self.active = Some((block, next + 1));
-                    return Ok(Ppa { block, page: next });
-                }
-                self.active = None;
-            }
-            if !self.in_gc && self.free.len() <= self.config.gc_free_threshold as usize {
-                self.garbage_collect()?;
-            }
-            let block = self.pop_coldest_free()?;
-            self.active = Some((block, 0));
-        }
-    }
-
-    /// Pops the free block with the fewest P/E cycles (implicit
-    /// wear-leveling allocation).
-    fn pop_coldest_free(&mut self) -> Result<u32, FtlError> {
-        if self.free.is_empty() {
-            return Err(FtlError::OutOfSpace);
-        }
-        let (idx, _) = self
-            .free
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &b)| {
-                self.chip.block_status(b).map(|s| s.pe_cycles).unwrap_or(u64::MAX)
-            })
-            .expect("non-empty");
-        Ok(self.free.swap_remove(idx))
-    }
-
-    fn garbage_collect(&mut self) -> Result<(), FtlError> {
-        self.in_gc = true;
-        let result = self.garbage_collect_inner();
-        self.in_gc = false;
-        result
-    }
-
-    fn garbage_collect_inner(&mut self) -> Result<(), FtlError> {
-        while self.free.len() <= self.config.gc_free_threshold as usize {
-            let active_block = self.active.map(|(b, _)| b);
-            let ppb = self.config.geometry.pages_per_block();
-            // Greedy victim: a non-free, non-active block with the fewest
-            // valid pages, and at least one reclaimable page.
-            let victim = (0..self.config.geometry.blocks)
-                .filter(|b| {
-                    Some(*b) != active_block
-                        && Some(*b) != self.relocating
-                        && !self.free.contains(b)
-                })
-                .min_by_key(|&b| self.map.valid_count(b))
-                .filter(|&b| self.map.valid_count(b) < ppb);
-            let Some(victim) = victim else {
-                return Err(FtlError::OutOfSpace);
-            };
-            self.relocate_block(victim, WriteClass::Gc)?;
-        }
-        Ok(())
-    }
-
-    /// Moves all valid data out of `block`, erases it, and returns it to the
-    /// free pool. Reads go through ECC: correctable pages are relocated
-    /// clean; uncorrectable pages are copied raw (permanent loss, counted).
-    fn relocate_block(&mut self, block: u32, class: WriteClass) -> Result<(), FtlError> {
-        // Retire the active block if it is the one being evacuated, so the
-        // relocation writes cannot land back inside it.
-        if self.active.map(|(b, _)| b) == Some(block) {
-            self.active = None;
-        }
-        let outer_relocating = self.relocating.replace(block);
-        let result = self.relocate_block_inner(block, class);
-        self.relocating = outer_relocating;
-        result
-    }
-
-    fn relocate_block_inner(&mut self, block: u32, class: WriteClass) -> Result<(), FtlError> {
-        let victims = self.map.valid_pages(block);
-        let capability = self.config.page_capability();
-        for (page, lpa) in victims {
-            let outcome = self.chip.read_page(block, page)?;
-            let data = if outcome.stats.errors <= capability {
-                self.stats.corrected_bits += outcome.stats.errors;
-                self.chip.intended_page_bits(block, page)?
-            } else {
-                self.stats.data_loss_relocations += 1;
-                outcome.data
-            };
-            self.write_data(lpa, &data, class)?;
-        }
-        self.map.assert_block_empty(block);
-        self.chip.erase_block(block)?;
-        self.stats.erases += 1;
-        self.free.push(block);
-        Ok(())
+        self.die.advance_time(days)
     }
 }
 

@@ -28,6 +28,37 @@ pub struct SsdStats {
     pub reclaims: u64,
 }
 
+impl std::ops::AddAssign for SsdStats {
+    fn add_assign(&mut self, rhs: Self) {
+        // Full destructuring: adding a field to SsdStats fails to compile
+        // here until the aggregation learns about it.
+        let SsdStats {
+            host_writes,
+            gc_writes,
+            refresh_writes,
+            reclaim_writes,
+            erases,
+            host_reads,
+            uncorrectable_reads,
+            corrected_bits,
+            data_loss_relocations,
+            refreshes,
+            reclaims,
+        } = rhs;
+        self.host_writes += host_writes;
+        self.gc_writes += gc_writes;
+        self.refresh_writes += refresh_writes;
+        self.reclaim_writes += reclaim_writes;
+        self.erases += erases;
+        self.host_reads += host_reads;
+        self.uncorrectable_reads += uncorrectable_reads;
+        self.corrected_bits += corrected_bits;
+        self.data_loss_relocations += data_loss_relocations;
+        self.refreshes += refreshes;
+        self.reclaims += reclaims;
+    }
+}
+
 impl SsdStats {
     /// Total physical page writes.
     pub fn total_writes(&self) -> u64 {
@@ -47,6 +78,16 @@ impl SsdStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn add_assign_sums_every_counter() {
+        let mut a = SsdStats { host_writes: 1, corrected_bits: 5, ..Default::default() };
+        let b = SsdStats { host_writes: 2, erases: 3, corrected_bits: 7, ..Default::default() };
+        a += b;
+        assert_eq!(a.host_writes, 3);
+        assert_eq!(a.erases, 3);
+        assert_eq!(a.corrected_bits, 12);
+    }
 
     #[test]
     fn waf_computation() {

@@ -8,6 +8,7 @@
 //! | [`flash`] | cell-accurate MLC NAND simulator: Vth distributions, P/E cycling, retention, read disturb, pass-through errors |
 //! | [`ecc`] | GF(2^m) + BCH codec, threshold ECC model, the paper's margin arithmetic |
 //! | [`ftl`] | SSD substrate: page-mapped FTL, GC, wear leveling, 7-day refresh, read reclaim |
+//! | [`engine`] | multi-channel/multi-die SSD engine: request scheduling, die-level timing, parallel trace replay |
 //! | [`workloads`] | synthetic trace generators modelled on the paper's trace families |
 //! | [`core`] | **the paper's contribution**: Vpass Tuning, Read Disturb Recovery, the characterization harness, and the endurance evaluator |
 //! | [`dram`] | RowHammer module-population model (related-work Figs. 11–12) |
@@ -48,6 +49,8 @@ pub use rd_core as core;
 pub use rd_dram as dram;
 /// BCH and threshold ECC.
 pub use rd_ecc as ecc;
+/// The multi-channel/multi-die SSD engine.
+pub use rd_engine as engine;
 /// The flash device simulator.
 pub use rd_flash as flash;
 /// The SSD/FTL substrate.
@@ -62,6 +65,7 @@ pub mod prelude {
         VpassTunerConfig, VpassTuningPolicy,
     };
     pub use rd_ecc::{BchCode, MarginPolicy, PageEccModel, ThresholdEcc};
+    pub use rd_engine::{Engine, EngineConfig, EngineStats, ReqKind, Timing, Topology};
     pub use rd_flash::{
         AnalyticModel, BitErrorStats, CellState, Chip, ChipParams, Geometry, VoltageRefs,
         NOMINAL_VPASS,
@@ -80,5 +84,6 @@ mod tests {
         let _ = crate::workloads::WorkloadProfile::suite();
         let _ = crate::core::RdrConfig::default();
         let _ = crate::dram::ModulePopulation::paper_129(1);
+        let _ = crate::engine::EngineConfig::small_test();
     }
 }

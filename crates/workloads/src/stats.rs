@@ -13,6 +13,8 @@ pub struct TraceStats {
     pub ops: u64,
     /// Read operations observed.
     pub reads: u64,
+    /// Write operations observed.
+    pub writes: u64,
     /// Duration covered (seconds).
     pub duration_s: f64,
     /// Reads per logical block.
@@ -28,6 +30,7 @@ impl TraceStats {
         let mut stats = TraceStats {
             ops: 0,
             reads: 0,
+            writes: 0,
             duration_s: 0.0,
             reads_per_block: HashMap::new(),
             writes_per_block: HashMap::new(),
@@ -42,6 +45,7 @@ impl TraceStats {
                     *stats.reads_per_block.entry(block).or_insert(0) += 1;
                 }
                 OpKind::Write => {
+                    stats.writes += 1;
                     *stats.writes_per_block.entry(block).or_insert(0) += 1;
                 }
             }
@@ -92,6 +96,8 @@ mod tests {
         let ops: Vec<TraceOp> = p.generator(21, 128).take(300_000).collect();
         let stats = TraceStats::from_ops(&ops, 128);
         assert_eq!(stats.ops, 300_000);
+        assert_eq!(stats.reads + stats.writes, stats.ops);
+        assert_eq!(stats.writes, stats.writes_per_block.values().sum::<u64>());
         assert!((stats.read_fraction() - p.read_fraction).abs() < 0.01);
         // Observed top-share tracks the Zipf closed form (within sampling noise).
         let expected = p.hottest_block_read_share();

@@ -1,0 +1,99 @@
+//! Integration tests of the workload generators: Zipf distribution shape,
+//! trace determinism under fixed seeds, and `TraceStats` round-trips.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rd_workloads::{OpKind, TraceOp, TraceStats, WorkloadProfile, ZipfSampler};
+
+/// Empirical head mass (share of draws landing on the hottest rank) of a
+/// sampler, over `n` draws.
+fn head_mass(theta: f64, draws: usize, seed: u64) -> f64 {
+    let z = ZipfSampler::new(256, theta);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hits = (0..draws).filter(|_| z.sample(&mut rng) == 0).count();
+    hits as f64 / draws as f64
+}
+
+#[test]
+fn zipf_head_mass_grows_with_theta() {
+    let flat = head_mass(0.0, 200_000, 1);
+    let mild = head_mass(0.5, 200_000, 2);
+    let steep = head_mass(1.0, 200_000, 3);
+    assert!(flat < mild && mild < steep, "head mass must grow with theta: {flat} {mild} {steep}");
+    // theta = 0 is uniform over 256 ranks.
+    assert!((flat - 1.0 / 256.0).abs() < 1.5e-3, "uniform head mass off: {flat}");
+}
+
+#[test]
+fn zipf_empirical_head_matches_closed_form() {
+    for theta in [0.5, 0.8, 1.0] {
+        let expected = ZipfSampler::new(256, theta).top_share();
+        let observed = head_mass(theta, 400_000, 7);
+        assert!(
+            (observed / expected - 1.0).abs() < 0.05,
+            "theta {theta}: observed {observed} vs closed form {expected}"
+        );
+    }
+}
+
+#[test]
+fn traces_are_deterministic_under_fixed_seed() {
+    for profile in ["postmark", "umass-web", "write-heavy"] {
+        let p = WorkloadProfile::by_name(profile).unwrap();
+        let a: Vec<TraceOp> = p.generator(42, 128).take(2_000).collect();
+        let b: Vec<TraceOp> = p.generator(42, 128).take(2_000).collect();
+        assert_eq!(a, b, "{profile} trace diverged under the same seed");
+        let c: Vec<TraceOp> = p.generator(43, 128).take(2_000).collect();
+        assert_ne!(a, c, "{profile} trace identical under different seeds");
+    }
+}
+
+#[test]
+fn trace_stats_round_trip_hand_built_ops() {
+    // Hand-built trace over 4-page logical blocks: three reads (two on
+    // block 0, one on block 5) and two writes (blocks 0 and 2).
+    let ops = [
+        TraceOp { time_s: 0.5, kind: OpKind::Read, lpa: 0 },
+        TraceOp { time_s: 1.0, kind: OpKind::Write, lpa: 3 },
+        TraceOp { time_s: 2.0, kind: OpKind::Read, lpa: 2 },
+        TraceOp { time_s: 3.5, kind: OpKind::Write, lpa: 8 },
+        TraceOp { time_s: 4.0, kind: OpKind::Read, lpa: 21 },
+    ];
+    let stats = TraceStats::from_ops(&ops, 4);
+    assert_eq!(stats.ops, 5);
+    assert_eq!(stats.reads, 3);
+    assert_eq!(stats.writes, 2);
+    assert_eq!(stats.reads + stats.writes, stats.ops);
+    assert!((stats.duration_s - 4.0).abs() < 1e-12);
+    assert!((stats.read_fraction() - 0.6).abs() < 1e-12);
+    let expected_reads: HashMap<u64, u64> = [(0, 2), (5, 1)].into_iter().collect();
+    let expected_writes: HashMap<u64, u64> = [(0, 1), (2, 1)].into_iter().collect();
+    assert_eq!(stats.reads_per_block, expected_reads);
+    assert_eq!(stats.writes_per_block, expected_writes);
+    assert_eq!(stats.hottest_block_reads(), 2);
+    assert_eq!(stats.hottest_blocks(2), vec![(0, 2), (5, 1)]);
+}
+
+#[test]
+fn trace_stats_counts_match_generator_mix() {
+    let p = WorkloadProfile::by_name("umass-web").unwrap();
+    let ops: Vec<TraceOp> = p.generator(11, 64).take(50_000).collect();
+    let stats = TraceStats::from_ops(&ops, 64);
+    assert_eq!(stats.reads + stats.writes, 50_000);
+    assert_eq!(stats.writes, ops.iter().filter(|o| o.kind == OpKind::Write).count() as u64);
+    // umass-web is read-heavy (85%): the writes field must reflect that.
+    let write_frac = stats.writes as f64 / stats.ops as f64;
+    assert!((write_frac - 0.15).abs() < 0.01, "write fraction {write_frac}");
+}
+
+#[test]
+fn empty_trace_stats_are_zero() {
+    let stats = TraceStats::from_ops(&[], 64);
+    assert_eq!(stats.ops, 0);
+    assert_eq!(stats.reads, 0);
+    assert_eq!(stats.writes, 0);
+    assert_eq!(stats.read_fraction(), 0.0);
+}

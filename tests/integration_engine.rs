@@ -1,0 +1,118 @@
+//! Engine ↔ single-chip parity: a 1-channel × 1-die engine must reproduce
+//! the single-chip `Ssd` bit for bit — same read payloads, same corrected
+//! error totals, same per-block read-disturb accumulation — because both
+//! wrap the same `rd_ftl::Die` with the same seed.
+
+use readdisturb::ftl::FtlError;
+use readdisturb::prelude::*;
+use readdisturb::workloads::{OpKind, TraceOp};
+
+fn die_config(seed: u64) -> SsdConfig {
+    SsdConfig::engine_scale(seed)
+}
+
+fn trace(seed: u64, n: usize) -> Vec<TraceOp> {
+    WorkloadProfile::by_name("umass-web").unwrap().generator(seed, 16).take(n).collect()
+}
+
+fn engine_config(seed: u64, topology: Topology) -> EngineConfig {
+    EngineConfig {
+        topology,
+        die: die_config(seed),
+        timing: Timing::default(),
+        queue_depth: 8,
+        capture_read_data: true,
+    }
+}
+
+#[test]
+fn single_die_engine_matches_single_chip_ssd() {
+    let seed = 2015_0215;
+    let ops = trace(seed, 6_000);
+
+    // Reference run: the existing synchronous single-chip SSD.
+    let mut ssd = Ssd::new(die_config(seed)).unwrap();
+    let logical = ssd.map().logical_pages();
+    let mut expected_reads = Vec::new();
+    for op in &ops {
+        let lpa = op.lpa % logical;
+        match op.kind {
+            OpKind::Write => ssd.write(lpa).unwrap(),
+            OpKind::Read => match ssd.read(lpa) {
+                Ok(r) => expected_reads.push((lpa, r.data, r.corrected_errors)),
+                Err(FtlError::NotWritten { .. }) => {}
+                Err(e) => panic!("ssd read failed: {e}"),
+            },
+        }
+    }
+
+    // Engine run: same trace, same seed, 1 channel × 1 die.
+    let mut engine = Engine::new(engine_config(seed, Topology::single())).unwrap();
+    assert_eq!(engine.logical_pages(), logical, "1x1 engine must export the ssd capacity");
+    let stats = engine.replay(ops.iter().copied(), 2);
+    let mut completions = engine.drain_completions();
+    completions.sort_by_key(|c| c.id); // submission order
+
+    // Byte-identical reads, identical per-read corrected counts.
+    let engine_reads: Vec<_> =
+        completions.iter().filter(|c| c.kind == ReqKind::Read && c.result.is_ok()).collect();
+    assert_eq!(engine_reads.len(), expected_reads.len(), "read success counts differ");
+    for (c, (lpa, data, corrected)) in engine_reads.iter().zip(&expected_reads) {
+        assert_eq!(c.lpa, *lpa);
+        assert_eq!(c.corrected_errors, *corrected, "corrected errors differ at lpa {lpa}");
+        assert_eq!(c.data.as_ref().expect("capture enabled"), data, "payload differs at lpa {lpa}");
+    }
+
+    // Identical controller counters (writes, GC, erases, corrected bits).
+    assert_eq!(engine.die(0).stats(), ssd.stats());
+    assert_eq!(stats.corrected_bits, ssd.stats().corrected_bits);
+    assert_eq!(stats.uncorrectable_reads, ssd.stats().uncorrectable_reads);
+
+    // Identical per-block read-disturb accumulation (single-chip semantics).
+    for b in 0..ssd.config().geometry.blocks {
+        assert_eq!(
+            engine.die(0).chip().block_status(b).unwrap().reads_since_erase,
+            ssd.chip().block_status(b).unwrap().reads_since_erase,
+            "block {b} disturb count diverged"
+        );
+    }
+
+    // The engine layer adds timing on top — it must have produced a
+    // non-degenerate schedule.
+    assert!(stats.makespan_us > 0.0);
+    assert!(stats.iops() > 0.0);
+    assert!(stats.latency_p99_us >= stats.latency_p50_us);
+}
+
+#[test]
+fn engine_replay_is_thread_count_invariant() {
+    let seed = 77;
+    let ops = trace(seed, 4_000);
+    let topo = Topology { channels: 2, dies_per_channel: 2 };
+    let a = Engine::new(engine_config(seed, topo)).unwrap().replay(ops.iter().copied(), 1);
+    let b = Engine::new(engine_config(seed, topo)).unwrap().replay(ops.iter().copied(), 4);
+    assert_eq!(a, b, "engine results depend on worker-thread count");
+}
+
+#[test]
+fn multi_die_replay_conserves_trace_counts() {
+    let seed = 99;
+    let ops = trace(seed, 4_000);
+    let reads = ops.iter().filter(|o| o.kind == OpKind::Read).count() as u64;
+    let topo = Topology { channels: 4, dies_per_channel: 2 };
+    let mut engine = Engine::new(engine_config(seed, topo)).unwrap();
+    let stats = engine.replay(ops.iter().copied(), 0);
+    assert_eq!(stats.ops, 4_000);
+    assert_eq!(stats.reads, reads);
+    assert_eq!(stats.writes, 4_000 - reads);
+    assert_eq!(stats.writes_failed, 0, "writes failed on a correctly-sized array");
+    assert_eq!(stats.per_die.iter().map(|d| d.ops).sum::<u64>(), 4_000);
+    // Striping must engage every die, and each die's FTL must stay sane.
+    for d in &stats.per_die {
+        assert!(d.ops > 0, "die {} idle", d.die);
+        assert_eq!(d.ssd.uncorrectable_reads, 0);
+    }
+    let totals = stats.totals();
+    assert_eq!(totals.host_reads + stats.reads_not_written, reads);
+    assert_eq!(totals.host_writes, 4_000 - reads);
+}
