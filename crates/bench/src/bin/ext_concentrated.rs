@@ -1,4 +1,4 @@
-//! Extension — concentrated read disturb (paper §5, Zambelli et al. [97]):
+//! Extension — concentrated read disturb (paper §5, Zambelli et al. \[97\]):
 //! hammering one page concentrates disturb on its direct neighbours.
 
 use readdisturb::core::characterize::{ext_concentrated_disturb, Scale};

@@ -1,104 +1,51 @@
-//! Extension — SSD-array scaling: replay one Zipf read-heavy trace across a
-//! sweep of channel/die configurations and measure simulated throughput,
-//! latency percentiles, and per-die read-disturb pressure.
+//! Extension — the engine perf harness: replay one Zipf read-heavy trace
+//! across a sweep of channel/die configurations (simulated throughput,
+//! latency percentiles, per-die read-disturb pressure) and compare the
+//! `CellExact` and `PageAnalytic` fidelity tiers head-to-head on the same
+//! trace (host wall-clock throughput, RBER summary, data digest).
 //!
-//! Emits one JSON row per configuration to
-//! `target/figures/ext_engine_scaling.jsonl`, then proves determinism by
-//! re-running the largest configuration and asserting bit-identical output.
+//! Emits every row to `target/figures/ext_engine_scaling.jsonl` *and* as a
+//! JSON array to `BENCH_PERF.json` at the workspace root — the per-commit
+//! perf-trajectory snapshot the CI `bench-smoke` job uploads.
+//!
+//! Built-in gates: simulated throughput must scale with die count, both
+//! tiers must replay bit-identically on re-run (FNV digest included), and
+//! the analytic tier must beat the exact tier by the configured factor
+//! (≥10× full mode, ≥5× `--quick`).
+//!
+//! Usage: `ext_engine_scaling [--quick]`
 
-use readdisturb::prelude::*;
-use readdisturb::workloads::TraceOp;
-
-const TRACE_SEED: u64 = 2015;
-const TRACE_OPS: usize = 100_000;
-
-fn die_config() -> SsdConfig {
-    SsdConfig::engine_scale(TRACE_SEED)
-}
-
-fn run_config(ops: &[TraceOp], channels: u32, dies_per_channel: u32) -> EngineStats {
-    let config = EngineConfig {
-        topology: Topology { channels, dies_per_channel },
-        die: die_config(),
-        timing: Timing::default(),
-        queue_depth: 16,
-        capture_read_data: false,
-    };
-    Engine::new(config).expect("engine").replay(ops.iter().copied(), 0)
-}
-
-fn json_row(s: &EngineStats) -> String {
-    let hottest = s.per_die.iter().map(|d| d.hottest_block_reads).max().unwrap_or(0);
-    format!(
-        concat!(
-            "{{\"channels\":{},\"dies_per_channel\":{},\"dies\":{},\"ops\":{},",
-            "\"reads\":{},\"writes\":{},\"kiops\":{:.2},\"makespan_ms\":{:.3},",
-            "\"p50_us\":{:.1},\"p99_us\":{:.1},\"mean_us\":{:.1},",
-            "\"corrected_bits\":{},\"uncorrectable\":{},",
-            "\"hottest_block_reads\":{},\"digest\":\"{:016x}\"}}"
-        ),
-        s.channels,
-        s.dies / s.channels,
-        s.dies,
-        s.ops,
-        s.reads,
-        s.writes,
-        s.iops() / 1e3,
-        s.makespan_us / 1e3,
-        s.latency_p50_us,
-        s.latency_p99_us,
-        s.latency_mean_us,
-        s.corrected_bits,
-        s.uncorrectable_reads,
-        hottest,
-        s.data_digest,
-    )
-}
+use rd_bench::perf::{run_harness, HarnessConfig};
 
 fn main() {
-    // umass-web stands in for the paper's WebSearch trace: 85% reads with
-    // strong Zipfian block popularity — the read-disturb-heavy case.
-    let profile = WorkloadProfile::by_name("umass-web").expect("profile");
-    let pages_per_block = die_config().geometry.pages_per_block();
-    let ops: Vec<TraceOp> =
-        profile.generator(TRACE_SEED, pages_per_block).take(TRACE_OPS).collect();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick { HarnessConfig::quick() } else { HarnessConfig::full() };
+    let outcome = run_harness(&config);
 
-    let sweep: Vec<(u32, u32)> = [1u32, 2, 4, 8]
-        .iter()
-        .flat_map(|&c| [1u32, 2, 4, 8].iter().map(move |&d| (c, d)))
-        .collect();
-    let mut rows = Vec::new();
-    let mut first = None;
-    let mut last = None;
-    for &(channels, dies_per_channel) in &sweep {
-        let stats = run_config(&ops, channels, dies_per_channel);
-        rows.push(json_row(&stats));
-        if first.is_none() {
-            first = Some(stats.clone());
-        }
-        last = Some(stats);
-    }
-    rd_bench::emit_jsonl("ext_engine_scaling", &rows);
+    rd_bench::emit_jsonl("ext_engine_scaling", &outcome.rows);
+    rd_bench::emit_bench_json("BENCH_PERF", &outcome.rows);
 
-    let (one_die, max_config) = (first.expect("sweep ran"), last.expect("sweep ran"));
-    // Reference is the die count (ideal linear scaling). Measured exceeds
-    // it: besides die parallelism, a larger array also dilutes per-die
-    // write pressure, so GC background time per op shrinks.
     rd_bench::shape_check(
-        "engine throughput scaling (64 dies vs 1 die)",
-        max_config.iops() / one_die.iops(),
-        64.0,
+        "analytic-over-exact replay speedup (4x4 topology)",
+        outcome.speedup(),
+        10.0,
     );
-    assert!(
-        max_config.iops() > 4.0 * one_die.iops(),
-        "throughput failed to scale with die count: {:.0} vs {:.0} iops",
-        max_config.iops(),
-        one_die.iops()
+    rd_bench::shape_check(
+        "analytic-vs-exact mean block RBER",
+        outcome.analytic.mean_block_rber,
+        outcome.exact.mean_block_rber,
     );
-
-    // Determinism gate: the same seed must reproduce the largest
-    // configuration bit for bit (payload digest included).
-    let rerun = run_config(&ops, 8, 8);
-    assert_eq!(rerun, max_config, "engine replay is not deterministic");
-    println!("## determinism: 8x8 rerun identical (digest {:016x})", rerun.data_digest);
+    println!(
+        "## determinism: both tiers reproduced bit-identically \
+         (exact digest {:016x}, analytic digest {:016x})",
+        outcome.exact.stats.data_digest, outcome.analytic.stats.data_digest,
+    );
+    println!(
+        "## perf: exact {:.1} kIOPS ({:.0} ms) vs analytic {:.1} kIOPS ({:.0} ms) -> {:.1}x",
+        outcome.exact.host_kiops(),
+        outcome.exact.wall_s * 1e3,
+        outcome.analytic.host_kiops(),
+        outcome.analytic.wall_s * 1e3,
+        outcome.speedup(),
+    );
 }

@@ -1,5 +1,5 @@
 //! Extension — read disturb on partially-programmed blocks (paper §5,
-//! [15, 67]): erased wordlines sit at the lowest voltages and absorb the
+//! \[15, 67\]): erased wordlines sit at the lowest voltages and absorb the
 //! most disturb, a reliability and security hazard when they are later
 //! programmed.
 

@@ -1,5 +1,5 @@
 //! Extension — SLC-configured blocks resist read disturb (paper §5,
-//! [48, 100]): the basis for read-hot-page remapping schemes.
+//! \[48, 100\]): the basis for read-hot-page remapping schemes.
 
 use readdisturb::core::characterize::{ext_slc_mode, Scale};
 

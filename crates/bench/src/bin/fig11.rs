@@ -1,5 +1,5 @@
 //! Fig. 11 — RowHammer error rate vs module manufacture date for the
-//! 129-module DRAM population (related-work reproduction, from [42]).
+//! 129-module DRAM population (related-work reproduction, from \[42\]).
 
 use readdisturb::dram::ModulePopulation;
 

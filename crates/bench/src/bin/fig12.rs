@@ -1,5 +1,5 @@
 //! Fig. 12 — victims per aggressor row for three representative DRAM
-//! modules, one per manufacturer (related-work reproduction, from [42]).
+//! modules, one per manufacturer (related-work reproduction, from \[42\]).
 
 use readdisturb::dram::{HammerExperiment, ModulePopulation};
 

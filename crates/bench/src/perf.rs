@@ -1,0 +1,294 @@
+//! The engine perf harness behind `ext_engine_scaling`: replay one trace
+//! across channel/die topologies and fidelity tiers, measuring both
+//! *simulated* throughput (the discrete-event clock) and *host* throughput
+//! (wall-clock replay speed — the number the ROADMAP's perf trajectory
+//! tracks).
+//!
+//! Every JSON row is self-describing: it carries the engine topology, the
+//! fidelity tier, the trace identity, the controller counters
+//! (`SsdStats` totals), an RBER summary, and the FNV data digest, so a
+//! `BENCH_PERF.json` snapshot can be compared across commits without
+//! context.
+//!
+//! Built-in gates (run by [`run_harness`]):
+//!
+//! * **determinism** — the comparison topology is re-run at both tiers and
+//!   must reproduce bit-identically (digest included);
+//! * **speedup** — when [`HarnessConfig::min_speedup`] is set, the
+//!   `PageAnalytic` replay must beat `CellExact` by at least that factor
+//!   on the same trace and topology.
+
+use std::time::Instant;
+
+use readdisturb::prelude::*;
+use readdisturb::workloads::TraceOp;
+
+/// Trace seed shared by the engine-scale suites.
+pub const TRACE_SEED: u64 = 2015;
+
+/// One measured replay: engine statistics plus wall-clock cost.
+#[derive(Debug, Clone)]
+pub struct ReplayMeasurement {
+    /// Topology: channels.
+    pub channels: u32,
+    /// Topology: dies per channel.
+    pub dies_per_channel: u32,
+    /// Fidelity tier the dies ran at.
+    pub fidelity: ReadFidelity,
+    /// Engine statistics after the replay.
+    pub stats: EngineStats,
+    /// Wall-clock seconds spent inside `Engine::replay` (construction
+    /// excluded — the trajectory tracks steady-state replay cost).
+    pub wall_s: f64,
+    /// Aggregate block RBER over every valid block of every die
+    /// (closed-form expectation on analytic dies, per-cell oracle on exact
+    /// ones).
+    pub mean_block_rber: f64,
+}
+
+impl ReplayMeasurement {
+    /// Host-side replay throughput in kIOPS (trace ops per wall second).
+    pub fn host_kiops(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            0.0
+        } else {
+            self.stats.ops as f64 / self.wall_s / 1e3
+        }
+    }
+}
+
+/// Configuration of one harness run.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Trace length in operations.
+    pub trace_ops: usize,
+    /// `(channels, dies_per_channel)` sweep replayed at `CellExact` for the
+    /// simulated-scaling rows.
+    pub sweep: Vec<(u32, u32)>,
+    /// Topology of the exact-vs-analytic comparison (also the determinism
+    /// gate's target).
+    pub perf_topology: (u32, u32),
+    /// Minimum required analytic-over-exact wall-clock speedup; `None`
+    /// disables the gate (smoke runs on tiny traces).
+    pub min_speedup: Option<f64>,
+}
+
+impl HarnessConfig {
+    /// The full harness: the 16-config scaling sweep plus the 4×4
+    /// exact-vs-analytic comparison with the ≥10× gate (the acceptance bar
+    /// for the analytic tier).
+    pub fn full() -> Self {
+        Self {
+            trace_ops: 100_000,
+            sweep: [1u32, 2, 4, 8]
+                .iter()
+                .flat_map(|&c| [1u32, 2, 4, 8].iter().map(move |&d| (c, d)))
+                .collect(),
+            perf_topology: (4, 4),
+            min_speedup: Some(10.0),
+        }
+    }
+
+    /// The CI `bench-smoke` variant: a reduced sweep and trace with a
+    /// conservative speedup bar (shared runners are noisy; the 10× bar is
+    /// enforced by the full harness and the committed trajectory).
+    pub fn quick() -> Self {
+        Self {
+            trace_ops: 20_000,
+            sweep: vec![(1, 1), (2, 2), (4, 4)],
+            perf_topology: (4, 4),
+            min_speedup: Some(5.0),
+        }
+    }
+
+    /// Miniature variant for test-profile smoke tests: no wall-clock gate.
+    pub fn smoke() -> Self {
+        Self {
+            trace_ops: 4_000,
+            sweep: vec![(1, 1), (2, 2)],
+            perf_topology: (2, 2),
+            min_speedup: None,
+        }
+    }
+}
+
+/// Outcome of a harness run.
+#[derive(Debug)]
+pub struct HarnessOutcome {
+    /// Self-describing JSON rows (one per measured replay).
+    pub rows: Vec<String>,
+    /// The exact-tier measurement at [`HarnessConfig::perf_topology`].
+    pub exact: ReplayMeasurement,
+    /// The analytic-tier measurement at the same topology and trace.
+    pub analytic: ReplayMeasurement,
+}
+
+impl HarnessOutcome {
+    /// Wall-clock speedup of the analytic tier over the exact tier.
+    pub fn speedup(&self) -> f64 {
+        self.exact.wall_s / self.analytic.wall_s.max(1e-12)
+    }
+}
+
+/// The per-die configuration the engine-scale suites share.
+pub fn die_config() -> SsdConfig {
+    SsdConfig::engine_scale(TRACE_SEED)
+}
+
+/// Generates the harness trace (umass-web stands in for the paper's
+/// WebSearch trace: 85% reads with strong Zipfian block popularity — the
+/// read-disturb-heavy case).
+pub fn harness_trace(trace_ops: usize) -> Vec<TraceOp> {
+    let profile = WorkloadProfile::by_name("umass-web").expect("profile");
+    let pages_per_block = die_config().geometry.pages_per_block();
+    profile.generator(TRACE_SEED, pages_per_block).take(trace_ops).collect()
+}
+
+fn engine_config(channels: u32, dies_per_channel: u32, fidelity: ReadFidelity) -> EngineConfig {
+    EngineConfig {
+        topology: Topology { channels, dies_per_channel },
+        die: die_config(),
+        timing: Timing::default(),
+        queue_depth: 16,
+        capture_read_data: false,
+    }
+    .with_fidelity(fidelity)
+}
+
+/// Replays `ops` on a fresh engine and measures wall-clock cost and the
+/// post-replay RBER summary.
+pub fn measure_replay(
+    ops: &[TraceOp],
+    channels: u32,
+    dies_per_channel: u32,
+    fidelity: ReadFidelity,
+) -> ReplayMeasurement {
+    let mut engine =
+        Engine::new(engine_config(channels, dies_per_channel, fidelity)).expect("engine");
+    let start = Instant::now();
+    let stats = engine.replay(ops.iter().copied(), 0);
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let mut errors = 0.0f64;
+    let mut bits = 0u64;
+    for d in 0..engine.config().topology.dies() {
+        let die = engine.die(d);
+        let bits_per_page = die.chip().geometry().bits_per_page() as u64;
+        for block in die.valid_blocks() {
+            let pages = die.chip().block_status(block).expect("valid block").programmed_pages;
+            let b = pages as u64 * bits_per_page;
+            errors += die.chip().block_rber_rate(block).expect("valid block") * b as f64;
+            bits += b;
+        }
+    }
+    let mean_block_rber = if bits == 0 { 0.0 } else { errors / bits as f64 };
+    ReplayMeasurement { channels, dies_per_channel, fidelity, stats, wall_s, mean_block_rber }
+}
+
+/// Renders a measurement as one self-describing JSON row.
+pub fn json_row(kind: &str, trace_ops: usize, m: &ReplayMeasurement) -> String {
+    let s = &m.stats;
+    let totals = s.totals();
+    let hottest = s.per_die.iter().map(|d| d.hottest_block_reads).max().unwrap_or(0);
+    format!(
+        concat!(
+            "{{\"kind\":\"{}\",\"trace\":\"umass-web\",\"trace_ops\":{},",
+            "\"channels\":{},\"dies_per_channel\":{},\"dies\":{},\"fidelity\":\"{}\",",
+            "\"ops\":{},\"reads\":{},\"writes\":{},",
+            "\"wall_ms\":{:.3},\"host_kiops\":{:.2},\"sim_kiops\":{:.2},",
+            "\"makespan_ms\":{:.3},\"p50_us\":{:.1},\"p99_us\":{:.1},\"mean_us\":{:.1},",
+            "\"mean_block_rber\":{:.3e},\"corrected_bits\":{},\"uncorrectable\":{},",
+            "\"hottest_block_reads\":{},\"host_writes\":{},\"gc_writes\":{},",
+            "\"refresh_writes\":{},\"erases\":{},\"digest\":\"{:016x}\"}}"
+        ),
+        kind,
+        trace_ops,
+        m.channels,
+        m.dies_per_channel,
+        s.dies,
+        m.fidelity,
+        s.ops,
+        s.reads,
+        s.writes,
+        m.wall_s * 1e3,
+        m.host_kiops(),
+        s.iops() / 1e3,
+        s.makespan_us / 1e3,
+        s.latency_p50_us,
+        s.latency_p99_us,
+        s.latency_mean_us,
+        m.mean_block_rber,
+        s.corrected_bits,
+        s.uncorrectable_reads,
+        hottest,
+        totals.host_writes,
+        totals.gc_writes,
+        totals.refresh_writes,
+        totals.erases,
+        s.data_digest,
+    )
+}
+
+/// Runs the harness: the exact-tier scaling sweep, the exact-vs-analytic
+/// comparison at the perf topology, and the built-in gates.
+///
+/// # Panics
+///
+/// Panics if a replay is not bit-identical on re-run (determinism gate) or
+/// the analytic speedup falls below [`HarnessConfig::min_speedup`].
+pub fn run_harness(config: &HarnessConfig) -> HarnessOutcome {
+    let ops = harness_trace(config.trace_ops);
+    let mut rows = Vec::new();
+
+    // Simulated-scaling sweep (CellExact — golden engine behaviour).
+    let sweep: Vec<ReplayMeasurement> = config
+        .sweep
+        .iter()
+        .map(|&(channels, dies_per_channel)| {
+            let m = measure_replay(&ops, channels, dies_per_channel, ReadFidelity::CellExact);
+            rows.push(json_row("scaling", config.trace_ops, &m));
+            m
+        })
+        .collect();
+    if let (Some(first), Some(last)) = (sweep.first(), sweep.last()) {
+        if last.stats.dies > first.stats.dies {
+            assert!(
+                last.stats.iops() > 2.0 * first.stats.iops(),
+                "simulated throughput failed to scale with die count: {:.0} vs {:.0} iops",
+                last.stats.iops(),
+                first.stats.iops()
+            );
+        }
+    }
+
+    // Exact-vs-analytic comparison on the same trace and topology, reusing
+    // the sweep's measurement when the topology was already replayed.
+    let (pc, pd) = config.perf_topology;
+    let exact = sweep
+        .into_iter()
+        .find(|m| (m.channels, m.dies_per_channel) == (pc, pd))
+        .unwrap_or_else(|| measure_replay(&ops, pc, pd, ReadFidelity::CellExact));
+    let analytic = measure_replay(&ops, pc, pd, ReadFidelity::PageAnalytic);
+    rows.push(json_row("perf", config.trace_ops, &exact));
+    rows.push(json_row("perf", config.trace_ops, &analytic));
+
+    // Determinism gate: both tiers must reproduce bit for bit (the FNV
+    // payload digest is part of EngineStats equality).
+    let exact_rerun = measure_replay(&ops, pc, pd, ReadFidelity::CellExact);
+    assert_eq!(exact_rerun.stats, exact.stats, "cell-exact replay is not deterministic");
+    let analytic_rerun = measure_replay(&ops, pc, pd, ReadFidelity::PageAnalytic);
+    assert_eq!(analytic_rerun.stats, analytic.stats, "page-analytic replay is not deterministic");
+
+    // Speedup gate.
+    let outcome = HarnessOutcome { rows, exact, analytic };
+    if let Some(min) = config.min_speedup {
+        assert!(
+            outcome.speedup() >= min,
+            "analytic speedup {:.1}x below the {min}x gate (exact {:.1} ms, analytic {:.1} ms)",
+            outcome.speedup(),
+            outcome.exact.wall_s * 1e3,
+            outcome.analytic.wall_s * 1e3,
+        );
+    }
+    outcome
+}

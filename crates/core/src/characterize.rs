@@ -444,7 +444,7 @@ pub struct ConcentratedRow {
     pub rber: f64,
 }
 
-/// Extension experiment (Zambelli et al. [97], cited in §5): hammer one
+/// Extension experiment (Zambelli et al. \[97\], cited in §5): hammer one
 /// page of a block and measure per-wordline RBER by distance — direct
 /// neighbours of the hammered wordline suffer the most read disturb, and
 /// the hammered wordline itself the least.
@@ -482,11 +482,11 @@ pub struct PartialBlockRow {
     pub programmed_rber: f64,
 }
 
-/// Extension experiment ([15, 67], cited in §5): in a partially-programmed
+/// Extension experiment (\[15, 67\], cited in §5): in a partially-programmed
 /// block, reads to the programmed pages disturb the unprogrammed (erased)
 /// wordlines most — all their cells sit at the lowest threshold voltages.
 /// When such wordlines are later programmed, the accumulated shift becomes
-/// programming error (the security issue of [15]).
+/// programming error (the security issue of \[15\]).
 ///
 /// # Errors
 ///
@@ -541,7 +541,7 @@ pub struct SlcModeRow {
     pub slc_rber: f64,
 }
 
-/// Extension experiment ([48, 100], cited in §5): blocks configured as SLC
+/// Extension experiment (\[48, 100\], cited in §5): blocks configured as SLC
 /// — programmed with one wide-margin bit per cell — are resistant to read
 /// disturb, which is why prior work remaps read-hot pages into them. In
 /// this model the resistance is emergent: the single SLC reference sits

@@ -28,7 +28,7 @@ pub enum Mitigation {
         threshold: u64,
     },
     /// Vpass Tuning combined with read reclaim — the integrated approach of
-    /// Ha et al. [30], which the paper cites as evidence its technique is
+    /// Ha et al. \[30\], which the paper cites as evidence its technique is
     /// orthogonal to prior mitigations (§5).
     Combined {
         /// Read-reclaim threshold.

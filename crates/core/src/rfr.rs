@@ -2,7 +2,7 @@
 //! mechanism for *retention* errors (HPCA 2015, discussed in this paper's
 //! §5: "RFR, similar to RDR …, identifies fast- and slow-leaking cells,
 //! rather than disturb-prone and disturb-resistant cells, and
-//! probabilistically correct[s] uncorrectable retention errors offline").
+//! probabilistically correct\[s\] uncorrectable retention errors offline").
 //!
 //! Mirror image of [`crate::Rdr`]:
 //!

@@ -1,7 +1,7 @@
 //! Read-reference optimization (ROR) — the voltage-optimization family the
 //! paper's §5 situates Vpass Tuning in: "a few works that propose
 //! optimizing the *read reference* voltage have the same spirit"
-//! ([11, 14, 68], and the authors' own ROR from their HPCA 2015 paper).
+//! (\[11, 14, 68\], and the authors' own ROR from their HPCA 2015 paper).
 //!
 //! As threshold-voltage distributions shift (disturb pushes low states up,
 //! retention pulls high states down), the factory read references drift

@@ -1,7 +1,7 @@
 //! # rd-dram — a compact DRAM RowHammer (read disturb) population model
 //!
 //! The paper's related-work section (§5.2) reproduces two figures from the
-//! authors' RowHammer study (Kim et al., ISCA 2014 [42]): the error rate of
+//! authors' RowHammer study (Kim et al., ISCA 2014 \[42\]): the error rate of
 //! 129 DRAM modules by manufacture date (Fig. 11) and the distribution of
 //! victim cells per aggressor row for three representative modules
 //! (Fig. 12). This crate models that module population so the repository

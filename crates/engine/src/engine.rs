@@ -25,7 +25,7 @@
 
 use std::collections::VecDeque;
 
-use rd_ftl::{Die, FtlError, MitigationPolicy, NoMitigation, SsdConfig};
+use rd_ftl::{Die, FtlError, MitigationPolicy, NoMitigation, ReadFidelity, SsdConfig};
 use rd_workloads::{OpKind, TraceOp};
 
 use crate::queue::{CompletionQueue, IoCompletion, IoRequest, ReqKind, SubmissionQueue};
@@ -67,6 +67,21 @@ impl EngineConfig {
     /// Logical pages exported by the whole array (dies × per-die capacity).
     pub fn logical_pages(&self) -> u64 {
         self.topology.dies() as u64 * self.die.logical_pages()
+    }
+
+    /// The read-path fidelity tier every die is built at (carried by the
+    /// per-die [`SsdConfig`]).
+    pub fn fidelity(&self) -> ReadFidelity {
+        self.die.fidelity()
+    }
+
+    /// Returns the configuration with every die built at `fidelity` —
+    /// [`ReadFidelity::PageAnalytic`] swaps the per-cell Monte-Carlo read
+    /// path for the sampled closed-form model (the bulk-replay tier).
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: ReadFidelity) -> Self {
+        self.die = self.die.with_fidelity(fidelity);
+        self
     }
 
     /// The seed of a die's private RNG streams, derived from the base seed
@@ -217,6 +232,16 @@ impl<P: MitigationPolicy> Engine<P> {
         &self.dies[die as usize]
     }
 
+    /// Mutable access to a die (experiments may pre-wear chips or inject
+    /// disturbs before a replay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die` is out of range.
+    pub fn die_mut(&mut self, die: u32) -> &mut Die<P> {
+        &mut self.dies[die as usize]
+    }
+
     /// Enqueues a request; returns its command id.
     pub fn submit(&mut self, kind: ReqKind, lpa: u64) -> u64 {
         let id = self.next_id;
@@ -297,6 +322,7 @@ impl<P: MitigationPolicy> Engine<P> {
         EngineStats {
             channels: self.config.topology.channels,
             dies: self.config.topology.dies(),
+            fidelity: self.config.fidelity(),
             ops: self.reads + self.writes,
             reads: self.reads,
             writes: self.writes,

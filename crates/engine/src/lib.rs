@@ -39,6 +39,8 @@ pub mod topology;
 
 pub use engine::{Engine, EngineConfig};
 pub use queue::{CompletionQueue, IoCompletion, IoRequest, ReqKind, SubmissionQueue};
+// Re-export: the per-die read-path fidelity knob (see `rd_flash::fidelity`).
+pub use rd_ftl::ReadFidelity;
 pub use stats::{DieStats, EngineStats};
 pub use timing::Timing;
 pub use topology::Topology;

@@ -1,7 +1,7 @@
 //! Aggregate engine statistics: throughput, latency percentiles, and the
 //! per-die reliability counters the paper's SSD-scale evaluation tracks.
 
-use rd_ftl::SsdStats;
+use rd_ftl::{ReadFidelity, SsdStats};
 
 /// Per-die snapshot inside an [`EngineStats`].
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +28,10 @@ pub struct EngineStats {
     pub channels: u32,
     /// Dies in the array.
     pub dies: u32,
+    /// Read-path fidelity tier the dies ran at (BENCH rows must be
+    /// self-describing: an analytic replay is not comparable to an exact
+    /// one without this tag).
+    pub fidelity: ReadFidelity,
     /// Host requests completed.
     pub ops: u64,
     /// Read requests completed (including failed lookups).
@@ -109,6 +113,7 @@ mod tests {
         let mut s = EngineStats {
             channels: 1,
             dies: 2,
+            fidelity: ReadFidelity::CellExact,
             ops: 1000,
             reads: 800,
             writes: 200,

@@ -1,0 +1,623 @@
+//! Page-analytic block state: the [`crate::ReadFidelity::PageAnalytic`]
+//! backend of [`crate::Chip`].
+//!
+//! Instead of per-cell threshold voltages, a block keeps only
+//!
+//! * the packed **page payloads** as programmed (so reads return real data
+//!   and the engine's FNV digest gate still bites),
+//! * the block **operating point** (P/E cycles, retention age, Vpass), and
+//! * **batched disturb counters**: reads are accumulated per block plus a
+//!   per-wordline adjustment (hammer concentration on neighbours), and are
+//!   folded into the analytic disturb term lazily — only when the Vpass
+//!   changes, because the per-read disturb slope depends on the Vpass in
+//!   effect when the read happened.
+//!
+//! A page read then costs O(errors), not O(cells): the raw bit error count
+//! is sampled from a binomial around the closed-form RBER of
+//! [`crate::analytic::AnalyticModel`] (the model the calibration suite pins
+//! to the Monte-Carlo chip within ±35–60%), error positions are sampled
+//! uniformly, and blocked bitlines (pass-through failures at a relaxed
+//! Vpass) are sampled from the same model's pass-through term so Vpass
+//! Tuning's zero-counting probe keeps working.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::analytic::AnalyticModel;
+use crate::bits;
+use crate::block::BlockStatus;
+use crate::chip::ReadOutcome;
+use crate::error::FlashError;
+use crate::geometry::{PageAddr, PageKind};
+use crate::math::normal_q;
+use crate::noise::retention;
+use crate::params::{ChipParams, NOMINAL_VPASS};
+use crate::state::CellState;
+use crate::BitErrorStats;
+
+/// Per-bit error floor from programming-distribution tail overlap at the
+/// default read references (randomly programmed data).
+///
+/// The closed-form [`AnalyticModel`] is calibrated to the paper's measured
+/// curves from 2K P/E upward, where misprogram noise dominates; on a fresh
+/// block the Monte-Carlo chip still shows a small error floor from the
+/// Gaussian tails crossing the read references. Each of the three state
+/// boundaries contributes its two one-sided tails; states are equiprobable
+/// (1/4) under random data and an adjacent-state misread flips exactly one
+/// of the cell's two bits (Gray coding), hence the 1/8 weight.
+pub(crate) fn gaussian_tail_floor(params: &ChipParams, pe_cycles: u64) -> f64 {
+    let refs = &params.refs;
+    let boundaries = [
+        (refs.va, CellState::Er, CellState::P1),
+        (refs.vb, CellState::P1, CellState::P2),
+        (refs.vc, CellState::P2, CellState::P3),
+    ];
+    let mut per_cell = 0.0;
+    for (vref, lo, hi) in boundaries {
+        let d_lo = params.state_dist(lo, pe_cycles);
+        let d_hi = params.state_dist(hi, pe_cycles);
+        per_cell +=
+            normal_q((vref - d_lo.mean) / d_lo.sigma) + normal_q((d_hi.mean - vref) / d_hi.sigma);
+    }
+    per_cell / 8.0
+}
+
+/// One flash block of the page-analytic chip model.
+#[derive(Debug, Clone)]
+pub(crate) struct AnalyticBlock {
+    wordlines: u32,
+    bitlines: u32,
+    pe_cycles: u64,
+    age_days: f64,
+    reads_since_erase: u64,
+    vpass: f64,
+    page_programmed: Vec<bool>,
+    /// Packed page payloads as programmed (empty until first program).
+    page_data: Vec<Vec<u8>>,
+    /// Read-disturb linear term accumulated at *past* Vpass settings:
+    /// `Σ rd_slope(pe, vpass_at_read) · reads`, block-uniform part.
+    folded_lin: f64,
+    /// Folded per-wordline adjustment on top of [`Self::folded_lin`].
+    folded_extra: Vec<f64>,
+    /// Block-uniform reads not yet folded (all at the current Vpass).
+    pending_reads: f64,
+    /// Per-wordline read adjustments not yet folded: negative on hammered
+    /// wordlines (their own reads do not pass-through-stress them),
+    /// positive on hammer neighbours.
+    pending_extra: Vec<f64>,
+}
+
+impl AnalyticBlock {
+    pub(crate) fn new(wordlines: u32, bitlines: u32) -> Self {
+        let pages = wordlines as usize * 2;
+        Self {
+            wordlines,
+            bitlines,
+            pe_cycles: 0,
+            age_days: 0.0,
+            reads_since_erase: 0,
+            vpass: NOMINAL_VPASS,
+            page_programmed: vec![false; pages],
+            page_data: vec![Vec::new(); pages],
+            folded_lin: 0.0,
+            folded_extra: vec![0.0; wordlines as usize],
+            pending_reads: 0.0,
+            pending_extra: vec![0.0; wordlines as usize],
+        }
+    }
+
+    fn reset_after_erase(&mut self) {
+        self.age_days = 0.0;
+        self.reads_since_erase = 0;
+        self.page_programmed.fill(false);
+        for d in &mut self.page_data {
+            d.clear();
+        }
+        self.folded_lin = 0.0;
+        self.folded_extra.fill(0.0);
+        self.pending_reads = 0.0;
+        self.pending_extra.fill(0.0);
+    }
+
+    pub(crate) fn erase(&mut self) {
+        self.pe_cycles += 1;
+        self.reset_after_erase();
+    }
+
+    pub(crate) fn pre_wear(&mut self, cycles: u64) {
+        self.pe_cycles += cycles;
+        self.reset_after_erase();
+    }
+
+    pub(crate) fn advance_days(&mut self, days: f64) {
+        assert!(days >= 0.0, "time flows forward");
+        self.age_days += days;
+    }
+
+    pub(crate) fn vpass(&self) -> f64 {
+        self.vpass
+    }
+
+    /// Folds the pending read counters into the disturb term at the Vpass
+    /// they were accumulated under, then applies the new setting.
+    pub(crate) fn set_vpass(
+        &mut self,
+        params: &ChipParams,
+        model: &AnalyticModel,
+        vpass: f64,
+    ) -> Result<(), FlashError> {
+        if !(params.min_vpass..=NOMINAL_VPASS).contains(&vpass) {
+            return Err(FlashError::VpassOutOfRange {
+                requested: vpass,
+                min: params.min_vpass,
+                max: NOMINAL_VPASS,
+            });
+        }
+        self.fold_pending(model);
+        self.vpass = vpass;
+        Ok(())
+    }
+
+    fn fold_pending(&mut self, model: &AnalyticModel) {
+        let slope = model.rd_slope(self.pe_cycles, self.vpass);
+        self.folded_lin += slope * self.pending_reads;
+        self.pending_reads = 0.0;
+        for (folded, pending) in self.folded_extra.iter_mut().zip(&mut self.pending_extra) {
+            *folded += slope * *pending;
+            *pending = 0.0;
+        }
+    }
+
+    /// Disturb linear term seen by one wordline, pending reads included.
+    fn disturb_lin(&self, model: &AnalyticModel, wordline: u32) -> f64 {
+        let wl = wordline as usize;
+        let slope = model.rd_slope(self.pe_cycles, self.vpass);
+        let lin = self.folded_lin
+            + self.folded_extra[wl]
+            + slope * (self.pending_reads + self.pending_extra[wl]);
+        lin.max(0.0)
+    }
+
+    /// Block-uniform disturb linear term (the [`BlockStatus::dose`] analogue).
+    fn disturb_lin_uniform(&self, model: &AnalyticModel) -> f64 {
+        let slope = model.rd_slope(self.pe_cycles, self.vpass);
+        (self.folded_lin + slope * self.pending_reads).max(0.0)
+    }
+
+    /// Per-bit RBER of one wordline, excluding pass-through errors (those
+    /// are realized as blocked bitlines at read time).
+    fn rber_wordline(&self, params: &ChipParams, model: &AnalyticModel, wordline: u32) -> f64 {
+        let lin = self.disturb_lin(model, wordline);
+        let p = model.params();
+        let rd = p.rd_sat * (lin / p.rd_sat).ln_1p();
+        gaussian_tail_floor(params, self.pe_cycles)
+            + model.rber_pe(self.pe_cycles)
+            + model.rber_retention(self.pe_cycles, self.age_days)
+            + rd
+    }
+
+    /// Probability that a bitline is blocked (pass-through failure) at the
+    /// block's current Vpass. Each blocked bitline senses as P3 and flips
+    /// half the bits on average, so the model's per-bit pass-through RBER
+    /// doubles into a per-bitline blocking probability.
+    fn blocked_prob(&self, model: &AnalyticModel) -> f64 {
+        2.0 * model.rber_passthrough(self.pe_cycles, self.age_days, self.vpass)
+    }
+
+    /// Uniformly spread reads: block-level disturb only (matches
+    /// `Block::apply_read_disturbs`).
+    pub(crate) fn apply_read_disturbs(&mut self, n: u64) {
+        self.pending_reads += n as f64;
+        self.reads_since_erase += n;
+    }
+
+    /// Reads concentrated on one wordline: neighbours get boosted disturb,
+    /// the target none from its own reads (matches `Block::hammer_wordline`).
+    pub(crate) fn hammer_wordline(&mut self, params: &ChipParams, wordline: u32, n: u64) {
+        assert!(wordline < self.wordlines, "wordline out of range");
+        self.pending_reads += n as f64;
+        self.reads_since_erase += n;
+        let wl = wordline as usize;
+        self.pending_extra[wl] -= n as f64;
+        let boost = n as f64 * params.rd_neighbor_boost;
+        if wl > 0 {
+            self.pending_extra[wl - 1] += boost;
+        }
+        if wl + 1 < self.wordlines as usize {
+            self.pending_extra[wl + 1] += boost;
+        }
+    }
+
+    pub(crate) fn is_page_programmed(&self, page: u32) -> bool {
+        self.page_programmed.get(page as usize).copied().unwrap_or(false)
+    }
+
+    pub(crate) fn status(&self, model: &AnalyticModel) -> BlockStatus {
+        BlockStatus {
+            pe_cycles: self.pe_cycles,
+            reads_since_erase: self.reads_since_erase,
+            age_days: self.age_days,
+            vpass: self.vpass,
+            programmed_pages: self.page_programmed.iter().filter(|p| **p).count() as u32,
+            dose: self.disturb_lin_uniform(model),
+        }
+    }
+
+    pub(crate) fn program_page(&mut self, page: u32, data: &[u8]) -> Result<(), FlashError> {
+        if page >= self.wordlines * 2 {
+            return Err(FlashError::PageOutOfRange { page, pages: self.wordlines * 2 });
+        }
+        if self.page_programmed[page as usize] {
+            return Err(FlashError::PageAlreadyProgrammed { page });
+        }
+        let expected = self.bitlines as usize;
+        if data.len() * 8 != expected {
+            return Err(FlashError::DataLengthMismatch { got: data.len() * 8, expected });
+        }
+        // Data age: writing into a fully-erased block starts a fresh
+        // retention period (same rule as the cell-exact block).
+        if !self.page_programmed.iter().any(|&p| p) {
+            self.age_days = 0.0;
+        }
+        self.page_data[page as usize].clear();
+        self.page_data[page as usize].extend_from_slice(data);
+        self.page_programmed[page as usize] = true;
+        Ok(())
+    }
+
+    pub(crate) fn intended_page_bits(&self, page: u32) -> Result<Vec<u8>, FlashError> {
+        if page >= self.wordlines * 2 {
+            return Err(FlashError::PageOutOfRange { page, pages: self.wordlines * 2 });
+        }
+        if !self.page_programmed[page as usize] {
+            return Err(FlashError::PageNotProgrammed { page });
+        }
+        Ok(self.page_data[page as usize].clone())
+    }
+
+    /// Serves a page read from the analytic model: sample a raw error count
+    /// around the closed-form RBER, flip that many uniformly-chosen bits,
+    /// then overlay sampled pass-through blocking. O(errors) plus one page
+    /// copy; no per-cell work.
+    pub(crate) fn read_page(
+        &mut self,
+        params: &ChipParams,
+        model: &AnalyticModel,
+        rng: &mut StdRng,
+        page: u32,
+        disturb: bool,
+    ) -> Result<ReadOutcome, FlashError> {
+        if page >= self.wordlines * 2 {
+            return Err(FlashError::PageOutOfRange { page, pages: self.wordlines * 2 });
+        }
+        let addr = PageAddr { block: 0, page };
+        let wl = addr.wordline();
+        let kind = addr.kind();
+        if disturb {
+            self.hammer_wordline(params, wl, 1);
+        }
+        let nbits = self.bitlines as usize;
+        let programmed = self.page_programmed[page as usize];
+        // An unprogrammed page reads back as erased cells (ER stores 1/1).
+        let mut data =
+            if programmed { self.page_data[page as usize].clone() } else { vec![0xFF; nbits / 8] };
+
+        let p_err = self.rber_wordline(params, model, wl);
+        let flips = sample_binomial(rng, self.bitlines as u64, p_err);
+        for_distinct_positions(rng, self.bitlines, flips, |bl| {
+            let i = bl as usize;
+            data[i / 8] ^= 1 << (i % 8);
+        });
+
+        let p_block = self.blocked_prob(model);
+        let mut blocked = 0u64;
+        if p_block > 0.0 {
+            blocked = sample_binomial(rng, self.bitlines as u64, p_block);
+            // A blocked bitline cannot conduct, so the cell senses as P3.
+            let p3_bit = match kind {
+                PageKind::Lsb => CellState::P3.lsb(),
+                PageKind::Msb => CellState::P3.msb(),
+            };
+            for_distinct_positions(rng, self.bitlines, blocked, |bl| {
+                bits::set_bit(&mut data, bl as usize, p3_bit);
+            });
+        }
+
+        let errors = if programmed {
+            bits::hamming(&data, &self.page_data[page as usize])
+        } else {
+            // Intended is all-ones: errors are exactly the cleared bits.
+            nbits as u64 - data.iter().map(|b| u64::from(b.count_ones())).sum::<u64>()
+        };
+        Ok(ReadOutcome {
+            data,
+            stats: BitErrorStats::new(errors, nbits as u64),
+            blocked_bitlines: blocked,
+        })
+    }
+
+    /// Closed-form expected RBER of one wordline's programmed pages
+    /// (pass-through errors included), rounded to whole bits.
+    pub(crate) fn rber_wordline_oracle(
+        &self,
+        params: &ChipParams,
+        model: &AnalyticModel,
+        wordline: u32,
+    ) -> BitErrorStats {
+        let lsb_on = self.page_programmed[(wordline * 2) as usize];
+        let msb_on = self.page_programmed[(wordline * 2 + 1) as usize];
+        let pages = u64::from(lsb_on) + u64::from(msb_on);
+        if pages == 0 {
+            return BitErrorStats::default();
+        }
+        let bits = pages * self.bitlines as u64;
+        let p = self.rber_wordline(params, model, wordline) + 0.5 * self.blocked_prob(model);
+        BitErrorStats::new((p * bits as f64).round() as u64, bits)
+    }
+
+    /// Closed-form expected RBER over all programmed pages of the block,
+    /// unrounded: `(expected error bits, total bits)`.
+    pub(crate) fn rber_expectation(
+        &self,
+        params: &ChipParams,
+        model: &AnalyticModel,
+    ) -> (f64, u64) {
+        let mut expected = 0.0f64;
+        let mut bits = 0u64;
+        let p_block_err = 0.5 * self.blocked_prob(model);
+        for wl in 0..self.wordlines {
+            let pages = u64::from(self.page_programmed[(wl * 2) as usize])
+                + u64::from(self.page_programmed[(wl * 2 + 1) as usize]);
+            if pages == 0 {
+                continue;
+            }
+            let wl_bits = pages * self.bitlines as u64;
+            expected += (self.rber_wordline(params, model, wl) + p_block_err) * wl_bits as f64;
+            bits += wl_bits;
+        }
+        (expected, bits)
+    }
+
+    /// Closed-form expected RBER over all programmed pages of the block,
+    /// rounded to whole bits (the [`BitErrorStats`] oracle shape).
+    pub(crate) fn rber_oracle(&self, params: &ChipParams, model: &AnalyticModel) -> BitErrorStats {
+        let (expected, bits) = self.rber_expectation(params, model);
+        BitErrorStats::new(expected.round() as u64, bits)
+    }
+}
+
+/// Samples `Binomial(n, p)` deterministically from `rng`: exact Knuth
+/// Poisson inversion for small means (the common case — RBERs here are
+/// 1e-9..1e-2), a normal approximation for large ones. Always in `0..=n`.
+pub(crate) fn sample_binomial(rng: &mut StdRng, n: u64, p: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let mean = n as f64 * p;
+    if mean < 32.0 {
+        // Knuth: count multiplications of U(0,1) until the product drops
+        // below e^-mean. O(mean) draws.
+        let limit = (-mean).exp();
+        let mut k = 0u64;
+        let mut prod: f64 = rng.gen();
+        while prod > limit {
+            k += 1;
+            prod *= rng.gen::<f64>();
+        }
+        k.min(n)
+    } else {
+        let sd = (mean * (1.0 - p)).sqrt();
+        let z = retention::sample_standard_normal(rng);
+        let k = (mean + sd * z).round();
+        (k.max(0.0) as u64).min(n)
+    }
+}
+
+/// Invokes `apply` on `k` distinct positions in `0..n`, sampled uniformly.
+/// Rejection via a scratch set; `k` is far below `n` at model error rates.
+fn for_distinct_positions(rng: &mut StdRng, n: u32, k: u64, mut apply: impl FnMut(u32)) {
+    let k = k.min(n as u64);
+    if k == n as u64 {
+        for bl in 0..n {
+            apply(bl);
+        }
+        return;
+    }
+    let mut chosen: HashSet<u32> = HashSet::with_capacity(k as usize);
+    while (chosen.len() as u64) < k {
+        let bl = rng.gen_range(0..n);
+        if chosen.insert(bl) {
+            apply(bl);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn setup() -> (AnalyticBlock, ChipParams, AnalyticModel, StdRng) {
+        let params = ChipParams::default();
+        let model = AnalyticModel::from_chip(&params, 8);
+        (AnalyticBlock::new(8, 1024), params, model, StdRng::seed_from_u64(7))
+    }
+
+    fn program_all(block: &mut AnalyticBlock, rng: &mut StdRng) {
+        for page in 0..16 {
+            let data = bits::random(rng, 1024);
+            block.program_page(page, &data).unwrap();
+        }
+    }
+
+    #[test]
+    fn program_read_round_trip_is_near_clean_when_fresh() {
+        let (mut block, params, model, mut rng) = setup();
+        let data = bits::random(&mut rng, 1024);
+        block.program_page(4, &data).unwrap();
+        assert_eq!(block.intended_page_bits(4).unwrap(), data);
+        let out = block.read_page(&params, &model, &mut rng, 4, true).unwrap();
+        // Fresh block at 0 P/E: expected errors ≪ 1.
+        assert!(out.stats.errors <= 2, "fresh analytic read had {} errors", out.stats.errors);
+        assert_eq!(out.blocked_bitlines, 0, "no blocking at nominal Vpass");
+        assert_eq!(block.status(&model).reads_since_erase, 1);
+    }
+
+    #[test]
+    fn program_validation_matches_exact_block() {
+        let (mut block, _, _, mut rng) = setup();
+        let data = bits::random(&mut rng, 1024);
+        block.program_page(0, &data).unwrap();
+        assert!(matches!(
+            block.program_page(0, &data),
+            Err(FlashError::PageAlreadyProgrammed { page: 0 })
+        ));
+        assert!(matches!(block.program_page(99, &data), Err(FlashError::PageOutOfRange { .. })));
+        assert!(matches!(
+            block.program_page(1, &[0u8; 3]),
+            Err(FlashError::DataLengthMismatch { .. })
+        ));
+        assert!(matches!(block.intended_page_bits(2), Err(FlashError::PageNotProgrammed { .. })));
+    }
+
+    #[test]
+    fn disturb_raises_expected_rber() {
+        let (mut block, params, model, mut rng) = setup();
+        block.pre_wear(8_000);
+        program_all(&mut block, &mut rng);
+        let r0 = block.rber_oracle(&params, &model).rate();
+        block.apply_read_disturbs(250_000);
+        let r1 = block.rber_oracle(&params, &model).rate();
+        block.apply_read_disturbs(750_000);
+        let r2 = block.rber_oracle(&params, &model).rate();
+        assert!(r0 < r1 && r1 < r2, "{r0} {r1} {r2}");
+    }
+
+    #[test]
+    fn sampled_errors_track_expectation() {
+        let (mut block, params, model, mut rng) = setup();
+        block.pre_wear(8_000);
+        program_all(&mut block, &mut rng);
+        block.apply_read_disturbs(500_000);
+        let expect = block.rber_wordline(&params, &model, 3) * 1024.0;
+        let n_reads = 400usize;
+        let mut total = 0u64;
+        for _ in 0..n_reads {
+            // Oracle reads: no extra disturb, so the expectation is fixed.
+            let out = block.read_page(&params, &model, &mut rng, 6, false).unwrap();
+            total += out.stats.errors;
+        }
+        let mean = total as f64 / n_reads as f64;
+        assert!(
+            (0.7..=1.4).contains(&(mean / expect)),
+            "sampled mean {mean:.2} vs expectation {expect:.2}"
+        );
+    }
+
+    #[test]
+    fn hammer_concentrates_on_neighbours() {
+        let (mut block, params, model, mut rng) = setup();
+        block.pre_wear(8_000);
+        program_all(&mut block, &mut rng);
+        block.hammer_wordline(&params, 4, 500_000);
+        let neighbour = block.rber_wordline_oracle(&params, &model, 5).rate();
+        let distant = block.rber_wordline_oracle(&params, &model, 1).rate();
+        let hammered = block.rber_wordline_oracle(&params, &model, 4).rate();
+        assert!(neighbour > distant, "neighbour {neighbour:.3e} vs distant {distant:.3e}");
+        assert!(hammered < distant, "hammered {hammered:.3e} vs distant {distant:.3e}");
+    }
+
+    #[test]
+    fn vpass_fold_preserves_accumulated_disturb() {
+        let (mut block, params, model, mut rng) = setup();
+        block.pre_wear(8_000);
+        program_all(&mut block, &mut rng);
+        block.apply_read_disturbs(100_000);
+        let before = block.disturb_lin_uniform(&model);
+        // Lowering Vpass must not erase the disturb damage already done
+        // (pass-through errors do rise — that is the physics, not history).
+        block.set_vpass(&params, &model, 0.96 * NOMINAL_VPASS).unwrap();
+        let after = block.disturb_lin_uniform(&model);
+        assert!((after / before - 1.0).abs() < 1e-9, "fold changed history: {before} -> {after}");
+        // …but future reads at the lower Vpass accumulate disturb slower.
+        let mut low = block.clone();
+        low.apply_read_disturbs(100_000);
+        let mut high = block.clone();
+        high.set_vpass(&params, &model, NOMINAL_VPASS).unwrap();
+        high.apply_read_disturbs(100_000);
+        assert!(
+            low.disturb_lin_uniform(&model) < high.disturb_lin_uniform(&model),
+            "lower Vpass must slow disturb accumulation"
+        );
+    }
+
+    #[test]
+    fn relaxed_vpass_blocks_bitlines_and_nominal_does_not() {
+        let (mut block, params, model, mut rng) = setup();
+        program_all(&mut block, &mut rng);
+        block.set_vpass(&params, &model, params.min_vpass).unwrap();
+        let mut blocked = 0u64;
+        for _ in 0..64 {
+            blocked +=
+                block.read_page(&params, &model, &mut rng, 0, false).unwrap().blocked_bitlines;
+        }
+        assert!(blocked > 0, "expected sampled blocking at minimum Vpass");
+        block.set_vpass(&params, &model, NOMINAL_VPASS).unwrap();
+        let out = block.read_page(&params, &model, &mut rng, 0, false).unwrap();
+        assert_eq!(out.blocked_bitlines, 0);
+    }
+
+    #[test]
+    fn erase_resets_state_and_increments_wear() {
+        let (mut block, _, model, mut rng) = setup();
+        program_all(&mut block, &mut rng);
+        block.apply_read_disturbs(1_000);
+        block.advance_days(3.0);
+        block.erase();
+        let st = block.status(&model);
+        assert_eq!(st.pe_cycles, 1);
+        assert_eq!(st.reads_since_erase, 0);
+        assert_eq!(st.age_days, 0.0);
+        assert_eq!(st.dose, 0.0);
+        assert_eq!(st.programmed_pages, 0);
+    }
+
+    #[test]
+    fn binomial_sampler_bounds_and_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        assert_eq!(sample_binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(sample_binomial(&mut rng, 10, 0.0), 0);
+        assert_eq!(sample_binomial(&mut rng, 10, 1.0), 10);
+        // Small-mean regime (Knuth path).
+        let mean_of = |rng: &mut StdRng, n: u64, p: f64, draws: u64| -> f64 {
+            (0..draws).map(|_| sample_binomial(rng, n, p)).sum::<u64>() as f64 / draws as f64
+        };
+        let m = mean_of(&mut rng, 100_000, 1.0e-4, 3_000);
+        assert!((m / 10.0 - 1.0).abs() < 0.15, "small-mean sampler mean {m} (expect 10)");
+        // Large-mean regime (normal path).
+        let m = mean_of(&mut rng, 100_000, 1.0e-2, 3_000);
+        assert!((m / 1000.0 - 1.0).abs() < 0.05, "large-mean sampler mean {m} (expect 1000)");
+        for _ in 0..200 {
+            assert!(sample_binomial(&mut rng, 50, 0.9) <= 50);
+        }
+    }
+
+    #[test]
+    fn distinct_positions_are_distinct_and_complete() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = Vec::new();
+        for_distinct_positions(&mut rng, 64, 20, |i| seen.push(i));
+        assert_eq!(seen.len(), 20);
+        let unique: HashSet<u32> = seen.iter().copied().collect();
+        assert_eq!(unique.len(), 20);
+        // k == n short-circuits to the full range.
+        let mut all = Vec::new();
+        for_distinct_positions(&mut rng, 16, 16, |i| all.push(i));
+        assert_eq!(all, (0..16).collect::<Vec<_>>());
+    }
+}

@@ -39,7 +39,7 @@ pub struct Block {
     dose: f64,
     /// Per-wordline dose adjustment on top of the block-uniform dose:
     /// positive for the neighbours of hammered wordlines (concentrated read
-    /// disturb, [97]), negative for a hammered wordline itself (it is not
+    /// disturb, \[97\]), negative for a hammered wordline itself (it is not
     /// pass-through-stressed during its own reads).
     wordline_extra_dose: Vec<f64>,
     age_days: f64,
@@ -272,7 +272,7 @@ impl Block {
     /// Applies the disturb effect of `n` reads all targeting one wordline
     /// (a "hammered" page): every other wordline receives the uniform dose,
     /// the direct neighbours an extra `rd_neighbor_boost` multiple of it
-    /// (concentrated read disturb, [97]), and the target itself none — its
+    /// (concentrated read disturb, \[97\]), and the target itself none — its
     /// gates see read references, not Vpass, during its own reads.
     ///
     /// # Panics

@@ -1,13 +1,22 @@
 //! The chip: a collection of blocks behind a validated command interface
 //! mirroring what the paper's FPGA platform drives (erase, program, read,
 //! read-retry) plus the per-block Vpass control the paper proposes.
+//!
+//! A chip is built at one of two fidelity tiers (see [`crate::fidelity`]):
+//! the default [`ReadFidelity::CellExact`] keeps per-cell Monte-Carlo state
+//! ([`Block`]/[`crate::CellArray`]); [`ReadFidelity::PageAnalytic`] serves
+//! reads from the calibrated closed-form model at O(errors) per page and
+//! returns [`FlashError::FidelityUnsupported`] for the per-cell oracles.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::analytic::AnalyticModel;
+use crate::analytic_block::AnalyticBlock;
 use crate::bits;
 use crate::block::{Block, BlockStatus};
 use crate::error::FlashError;
+use crate::fidelity::ReadFidelity;
 use crate::geometry::Geometry;
 use crate::params::ChipParams;
 use crate::state::{CellState, ALL_STATES};
@@ -86,18 +95,28 @@ impl VthHistogram {
     }
 }
 
+/// Per-block storage of the chip, selected by the fidelity tier.
+#[derive(Debug)]
+enum Storage {
+    /// Per-cell Monte-Carlo state.
+    Exact(Vec<Block>),
+    /// Closed-form model plus lightweight per-block counters and payloads.
+    Analytic { model: AnalyticModel, blocks: Vec<AnalyticBlock> },
+}
+
 /// The simulated MLC NAND flash chip.
 #[derive(Debug)]
 pub struct Chip {
     geometry: Geometry,
     params: ChipParams,
-    blocks: Vec<Block>,
+    storage: Storage,
     rng: StdRng,
 }
 
 impl Chip {
     /// Creates a chip with the given geometry and model parameters,
-    /// deterministically seeded.
+    /// deterministically seeded. The fidelity tier is taken from
+    /// [`ChipParams::fidelity`].
     ///
     /// # Panics
     ///
@@ -108,10 +127,39 @@ impl Chip {
         assert!(geometry.wordlines_per_block > 0, "blocks need wordlines");
         assert_eq!(geometry.bitlines % 8, 0, "bitlines must be a multiple of 8");
         let mut rng = StdRng::seed_from_u64(seed);
-        let blocks = (0..geometry.blocks)
-            .map(|_| Block::new(geometry.wordlines_per_block, geometry.bitlines, &params, &mut rng))
-            .collect();
-        Self { geometry, params, blocks, rng }
+        let storage = match params.fidelity {
+            ReadFidelity::CellExact => Storage::Exact(
+                (0..geometry.blocks)
+                    .map(|_| {
+                        Block::new(
+                            geometry.wordlines_per_block,
+                            geometry.bitlines,
+                            &params,
+                            &mut rng,
+                        )
+                    })
+                    .collect(),
+            ),
+            ReadFidelity::PageAnalytic => Storage::Analytic {
+                model: AnalyticModel::from_chip(&params, geometry.wordlines_per_block),
+                blocks: (0..geometry.blocks)
+                    .map(|_| AnalyticBlock::new(geometry.wordlines_per_block, geometry.bitlines))
+                    .collect(),
+            },
+        };
+        Self { geometry, params, storage, rng }
+    }
+
+    /// Creates a chip at an explicit fidelity tier (overriding
+    /// [`ChipParams::fidelity`]).
+    pub fn with_fidelity(
+        geometry: Geometry,
+        mut params: ChipParams,
+        seed: u64,
+        fidelity: ReadFidelity,
+    ) -> Self {
+        params.fidelity = fidelity;
+        Self::new(geometry, params, seed)
     }
 
     /// The chip's geometry.
@@ -124,14 +172,19 @@ impl Chip {
         &self.params
     }
 
-    fn block_ref(&self, block: u32) -> Result<&Block, FlashError> {
-        self.geometry.check_block(block)?;
-        Ok(&self.blocks[block as usize])
+    /// The chip's fidelity tier.
+    pub fn fidelity(&self) -> ReadFidelity {
+        self.params.fidelity
     }
 
-    fn block_mut(&mut self, block: u32) -> Result<&mut Block, FlashError> {
+    fn block_ref(&self, block: u32) -> Result<&Block, FlashError> {
         self.geometry.check_block(block)?;
-        Ok(&mut self.blocks[block as usize])
+        match &self.storage {
+            Storage::Exact(blocks) => Ok(&blocks[block as usize]),
+            Storage::Analytic { .. } => {
+                Err(FlashError::FidelityUnsupported { op: "per-cell block access" })
+            }
+        }
     }
 
     /// Status snapshot of a block.
@@ -140,15 +193,19 @@ impl Chip {
     ///
     /// Fails if `block` is out of range.
     pub fn block_status(&self, block: u32) -> Result<BlockStatus, FlashError> {
-        Ok(self.block_ref(block)?.status())
+        self.geometry.check_block(block)?;
+        match &self.storage {
+            Storage::Exact(blocks) => Ok(blocks[block as usize].status()),
+            Storage::Analytic { model, blocks } => Ok(blocks[block as usize].status(model)),
+        }
     }
 
     /// Direct read-only access to a block (oracle inspection for experiments
-    /// and tests).
+    /// and tests). Requires [`ReadFidelity::CellExact`].
     ///
     /// # Errors
     ///
-    /// Fails if `block` is out of range.
+    /// Fails if `block` is out of range or the chip is page-analytic.
     pub fn block(&self, block: u32) -> Result<&Block, FlashError> {
         self.block_ref(block)
     }
@@ -160,8 +217,13 @@ impl Chip {
     /// Fails if `block` is out of range.
     pub fn erase_block(&mut self, block: u32) -> Result<(), FlashError> {
         self.geometry.check_block(block)?;
-        let params = self.params.clone();
-        self.blocks[block as usize].erase(&params, &mut self.rng);
+        match &mut self.storage {
+            Storage::Exact(blocks) => {
+                let params = self.params.clone();
+                blocks[block as usize].erase(&params, &mut self.rng);
+            }
+            Storage::Analytic { blocks, .. } => blocks[block as usize].erase(),
+        }
         Ok(())
     }
 
@@ -173,8 +235,13 @@ impl Chip {
     /// Fails if `block` is out of range.
     pub fn cycle_block(&mut self, block: u32, cycles: u64) -> Result<(), FlashError> {
         self.geometry.check_block(block)?;
-        let params = self.params.clone();
-        self.blocks[block as usize].pre_wear(&params, &mut self.rng, cycles);
+        match &mut self.storage {
+            Storage::Exact(blocks) => {
+                let params = self.params.clone();
+                blocks[block as usize].pre_wear(&params, &mut self.rng, cycles);
+            }
+            Storage::Analytic { blocks, .. } => blocks[block as usize].pre_wear(cycles),
+        }
         Ok(())
     }
 
@@ -186,8 +253,13 @@ impl Chip {
     pub fn program_page(&mut self, block: u32, page: u32, data: &[u8]) -> Result<(), FlashError> {
         self.geometry.check_block(block)?;
         self.geometry.check_page(page)?;
-        let params = self.params.clone();
-        self.blocks[block as usize].program_page(&params, &mut self.rng, page, data)
+        match &mut self.storage {
+            Storage::Exact(blocks) => {
+                let params = self.params.clone();
+                blocks[block as usize].program_page(&params, &mut self.rng, page, data)
+            }
+            Storage::Analytic { blocks, .. } => blocks[block as usize].program_page(page, data),
+        }
     }
 
     /// Programs every page of a block with pseudo-random data derived from
@@ -216,16 +288,29 @@ impl Chip {
     /// Fails if the address is out of range.
     pub fn read_page(&mut self, block: u32, page: u32) -> Result<ReadOutcome, FlashError> {
         self.geometry.check_block(block)?;
-        let params = self.params.clone();
-        self.blocks[block as usize].read_page(&params, page, 0.0, true)
+        let Self { params, storage, rng, .. } = self;
+        match storage {
+            Storage::Exact(blocks) => {
+                let params = params.clone();
+                blocks[block as usize].read_page(&params, page, 0.0, true)
+            }
+            Storage::Analytic { model, blocks } => {
+                blocks[block as usize].read_page(params, model, rng, page, true)
+            }
+        }
     }
 
     /// Reads a page at fully custom read references (each boundary moved
     /// independently), as read-reference optimization requires.
     ///
+    /// On a page-analytic chip only the default references are served (the
+    /// closed-form model has no per-boundary error decomposition).
+    ///
     /// # Errors
     ///
-    /// Fails if the address is out of range.
+    /// Fails if the address is out of range, or with
+    /// [`FlashError::FidelityUnsupported`] for non-default references on a
+    /// page-analytic chip.
     pub fn read_page_with_refs(
         &mut self,
         block: u32,
@@ -233,17 +318,32 @@ impl Chip {
         refs: &crate::state::VoltageRefs,
     ) -> Result<ReadOutcome, FlashError> {
         self.geometry.check_block(block)?;
-        let params = self.params.clone();
-        self.blocks[block as usize].read_page_with_refs(&params, page, refs, true)
+        match &mut self.storage {
+            Storage::Exact(blocks) => {
+                let params = self.params.clone();
+                blocks[block as usize].read_page_with_refs(&params, page, refs, true)
+            }
+            Storage::Analytic { .. } => {
+                if *refs == self.params.refs {
+                    self.read_page(block, page)
+                } else {
+                    Err(FlashError::FidelityUnsupported { op: "custom-reference read" })
+                }
+            }
+        }
     }
 
     /// Read-retry: reads a page with all references shifted by `shift`
     /// (the mechanism the paper uses to measure Vth distributions and to
     /// mimic Vpass changes on real chips, §2).
     ///
+    /// On a page-analytic chip only `shift == 0` is served.
+    ///
     /// # Errors
     ///
-    /// Fails if the address is out of range.
+    /// Fails if the address is out of range, or with
+    /// [`FlashError::FidelityUnsupported`] for a shifted retry on a
+    /// page-analytic chip.
     pub fn read_retry(
         &mut self,
         block: u32,
@@ -251,8 +351,19 @@ impl Chip {
         shift: f64,
     ) -> Result<RetryReadOutcome, FlashError> {
         self.geometry.check_block(block)?;
-        let params = self.params.clone();
-        let outcome = self.blocks[block as usize].read_page(&params, page, shift, true)?;
+        let outcome = match &mut self.storage {
+            Storage::Exact(blocks) => {
+                let params = self.params.clone();
+                blocks[block as usize].read_page(&params, page, shift, true)?
+            }
+            Storage::Analytic { .. } => {
+                if shift == 0.0 {
+                    self.read_page(block, page)?
+                } else {
+                    return Err(FlashError::FidelityUnsupported { op: "shifted read-retry" });
+                }
+            }
+        };
         Ok(RetryReadOutcome { shift, outcome })
     }
 
@@ -264,8 +375,13 @@ impl Chip {
     /// Fails if `block` is out of range.
     pub fn apply_read_disturbs(&mut self, block: u32, n: u64) -> Result<(), FlashError> {
         self.geometry.check_block(block)?;
-        let params = self.params.clone();
-        self.blocks[block as usize].apply_read_disturbs(&params, n);
+        match &mut self.storage {
+            Storage::Exact(blocks) => {
+                let params = self.params.clone();
+                blocks[block as usize].apply_read_disturbs(&params, n);
+            }
+            Storage::Analytic { blocks, .. } => blocks[block as usize].apply_read_disturbs(n),
+        }
         Ok(())
     }
 
@@ -279,12 +395,20 @@ impl Chip {
     pub fn hammer_wordline(&mut self, block: u32, wordline: u32, n: u64) -> Result<(), FlashError> {
         self.geometry.check_block(block)?;
         self.geometry.check_wordline(wordline)?;
-        let params = self.params.clone();
-        self.blocks[block as usize].hammer_wordline(&params, wordline, n);
+        match &mut self.storage {
+            Storage::Exact(blocks) => {
+                let params = self.params.clone();
+                blocks[block as usize].hammer_wordline(&params, wordline, n);
+            }
+            Storage::Analytic { blocks, .. } => {
+                blocks[block as usize].hammer_wordline(&self.params, wordline, n);
+            }
+        }
         Ok(())
     }
 
-    /// Oracle RBER of one wordline's programmed pages.
+    /// Oracle RBER of one wordline's programmed pages. On a page-analytic
+    /// chip this is the closed-form expectation, rounded to whole bits.
     ///
     /// # Errors
     ///
@@ -294,14 +418,31 @@ impl Chip {
         block: u32,
         wordline: u32,
     ) -> Result<crate::BitErrorStats, FlashError> {
+        self.geometry.check_block(block)?;
         self.geometry.check_wordline(wordline)?;
-        Ok(self.block_ref(block)?.rber_oracle_wordline(&self.params, wordline))
+        match &self.storage {
+            Storage::Exact(blocks) => {
+                Ok(blocks[block as usize].rber_oracle_wordline(&self.params, wordline))
+            }
+            Storage::Analytic { model, blocks } => {
+                Ok(blocks[block as usize].rber_wordline_oracle(&self.params, model, wordline))
+            }
+        }
     }
 
     /// Advances the retention clock of every block.
     pub fn advance_days(&mut self, days: f64) {
-        for b in &mut self.blocks {
-            b.advance_days(days);
+        match &mut self.storage {
+            Storage::Exact(blocks) => {
+                for b in blocks {
+                    b.advance_days(days);
+                }
+            }
+            Storage::Analytic { blocks, .. } => {
+                for b in blocks {
+                    b.advance_days(days);
+                }
+            }
         }
     }
 
@@ -311,7 +452,11 @@ impl Chip {
     ///
     /// Fails if `block` is out of range.
     pub fn advance_block_days(&mut self, block: u32, days: f64) -> Result<(), FlashError> {
-        self.block_mut(block)?.advance_days(days);
+        self.geometry.check_block(block)?;
+        match &mut self.storage {
+            Storage::Exact(blocks) => blocks[block as usize].advance_days(days),
+            Storage::Analytic { blocks, .. } => blocks[block as usize].advance_days(days),
+        }
         Ok(())
     }
 
@@ -323,8 +468,15 @@ impl Chip {
     /// tuning range.
     pub fn set_block_vpass(&mut self, block: u32, vpass: f64) -> Result<(), FlashError> {
         self.geometry.check_block(block)?;
-        let params = self.params.clone();
-        self.blocks[block as usize].set_vpass(&params, vpass)
+        match &mut self.storage {
+            Storage::Exact(blocks) => {
+                let params = self.params.clone();
+                blocks[block as usize].set_vpass(&params, vpass)
+            }
+            Storage::Analytic { model, blocks } => {
+                blocks[block as usize].set_vpass(&self.params, model, vpass)
+            }
+        }
     }
 
     /// A block's current pass-through voltage.
@@ -333,24 +485,57 @@ impl Chip {
     ///
     /// Fails if `block` is out of range.
     pub fn block_vpass(&self, block: u32) -> Result<f64, FlashError> {
-        Ok(self.block_ref(block)?.vpass())
+        self.geometry.check_block(block)?;
+        match &self.storage {
+            Storage::Exact(blocks) => Ok(blocks[block as usize].vpass()),
+            Storage::Analytic { blocks, .. } => Ok(blocks[block as usize].vpass()),
+        }
     }
 
-    /// Oracle RBER of a block (no disturb added by the measurement).
+    /// Oracle RBER of a block (no disturb added by the measurement). On a
+    /// page-analytic chip this is the closed-form expectation, rounded to
+    /// whole bits.
     ///
     /// # Errors
     ///
     /// Fails if `block` is out of range.
     pub fn block_rber(&self, block: u32) -> Result<BitErrorStats, FlashError> {
-        Ok(self.block_ref(block)?.rber_oracle(&self.params))
+        self.geometry.check_block(block)?;
+        match &self.storage {
+            Storage::Exact(blocks) => Ok(blocks[block as usize].rber_oracle(&self.params)),
+            Storage::Analytic { model, blocks } => {
+                Ok(blocks[block as usize].rber_oracle(&self.params, model))
+            }
+        }
     }
 
-    /// Threshold-voltage histogram of a block (oracle; the experimental
-    /// equivalent is an exhaustive read-retry sweep).
+    /// Expected block RBER as a real number over the block's programmed
+    /// pages: the per-cell oracle rate on a cell-exact chip, the *unrounded*
+    /// closed-form expectation on a page-analytic chip. This is the quantity
+    /// to compare across fidelity tiers — [`Chip::block_rber`] rounds to
+    /// whole bits, which quantizes small expectations to zero.
     ///
     /// # Errors
     ///
     /// Fails if `block` is out of range.
+    pub fn block_rber_rate(&self, block: u32) -> Result<f64, FlashError> {
+        self.geometry.check_block(block)?;
+        match &self.storage {
+            Storage::Exact(blocks) => Ok(blocks[block as usize].rber_oracle(&self.params).rate()),
+            Storage::Analytic { model, blocks } => {
+                let (expected, bits) = blocks[block as usize].rber_expectation(&self.params, model);
+                Ok(if bits == 0 { 0.0 } else { expected / bits as f64 })
+            }
+        }
+    }
+
+    /// Threshold-voltage histogram of a block (oracle; the experimental
+    /// equivalent is an exhaustive read-retry sweep). Requires
+    /// [`ReadFidelity::CellExact`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if `block` is out of range or the chip is page-analytic.
     pub fn vth_histogram(&self, block: u32, bin_width: f64) -> Result<VthHistogram, FlashError> {
         let b = self.block_ref(block)?;
         assert!(bin_width > 0.0, "bin width must be positive");
@@ -378,11 +563,11 @@ impl Chip {
 
     /// Measures per-cell threshold voltages of a wordline via a read-retry
     /// sweep quantized at `step`. With `disturb`, the sweep's reads disturb
-    /// the block (as on real hardware).
+    /// the block (as on real hardware). Requires [`ReadFidelity::CellExact`].
     ///
     /// # Errors
     ///
-    /// Fails if the address is out of range.
+    /// Fails if the address is out of range or the chip is page-analytic.
     pub fn measure_wordline_vth(
         &mut self,
         block: u32,
@@ -392,8 +577,29 @@ impl Chip {
     ) -> Result<Vec<f64>, FlashError> {
         self.geometry.check_block(block)?;
         self.geometry.check_wordline(wordline)?;
-        let params = self.params.clone();
-        self.blocks[block as usize].measure_wordline_vth(&params, wordline, step, disturb)
+        match &mut self.storage {
+            Storage::Exact(blocks) => {
+                let params = self.params.clone();
+                blocks[block as usize].measure_wordline_vth(&params, wordline, step, disturb)
+            }
+            Storage::Analytic { .. } => {
+                Err(FlashError::FidelityUnsupported { op: "per-cell Vth measurement" })
+            }
+        }
+    }
+
+    /// Whether a page has been programmed since its block's last erase.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is out of range.
+    pub fn is_page_programmed(&self, block: u32, page: u32) -> Result<bool, FlashError> {
+        self.geometry.check_block(block)?;
+        self.geometry.check_page(page)?;
+        match &self.storage {
+            Storage::Exact(blocks) => Ok(blocks[block as usize].is_page_programmed(page)),
+            Storage::Analytic { blocks, .. } => Ok(blocks[block as usize].is_page_programmed(page)),
+        }
     }
 
     /// Ground-truth programmed bits of a page (evaluation oracle for
@@ -403,25 +609,31 @@ impl Chip {
     ///
     /// Fails if the address is out of range or the page is unprogrammed.
     pub fn intended_page_bits(&self, block: u32, page: u32) -> Result<Vec<u8>, FlashError> {
+        self.geometry.check_block(block)?;
         self.geometry.check_page(page)?;
-        let b = self.block_ref(block)?;
-        if !b.is_page_programmed(page) {
-            return Err(FlashError::PageNotProgrammed { page });
+        match &self.storage {
+            Storage::Exact(blocks) => {
+                let b = &blocks[block as usize];
+                if !b.is_page_programmed(page) {
+                    return Err(FlashError::PageNotProgrammed { page });
+                }
+                let addr = crate::geometry::PageAddr { block, page };
+                let wl = addr.wordline();
+                let kind = addr.kind();
+                let nbits = self.geometry.bits_per_page();
+                let mut data = bits::zeroed(nbits);
+                for bl in 0..self.geometry.bitlines {
+                    let st = b.cells().intended_state(wl, bl);
+                    let bit = match kind {
+                        crate::geometry::PageKind::Lsb => st.lsb(),
+                        crate::geometry::PageKind::Msb => st.msb(),
+                    };
+                    bits::set_bit(&mut data, bl as usize, bit);
+                }
+                Ok(data)
+            }
+            Storage::Analytic { blocks, .. } => blocks[block as usize].intended_page_bits(page),
         }
-        let addr = crate::geometry::PageAddr { block, page };
-        let wl = addr.wordline();
-        let kind = addr.kind();
-        let nbits = self.geometry.bits_per_page();
-        let mut data = bits::zeroed(nbits);
-        for bl in 0..self.geometry.bitlines {
-            let st = b.cells().intended_state(wl, bl);
-            let bit = match kind {
-                crate::geometry::PageKind::Lsb => st.lsb(),
-                crate::geometry::PageKind::Msb => st.msb(),
-            };
-            bits::set_bit(&mut data, bl as usize, bit);
-        }
-        Ok(data)
     }
 
     /// Refreshes a block: saves the logical data, erases, and reprograms it
@@ -434,7 +646,7 @@ impl Chip {
     pub fn refresh_block(&mut self, block: u32) -> Result<(), FlashError> {
         self.geometry.check_block(block)?;
         let pages: Vec<(u32, Vec<u8>)> = (0..self.geometry.pages_per_block())
-            .filter(|p| self.blocks[block as usize].is_page_programmed(*p))
+            .filter(|p| self.is_page_programmed(block, *p).unwrap_or(false))
             .map(|p| (p, self.intended_page_bits(block, p).expect("programmed page")))
             .collect();
         self.erase_block(block)?;
@@ -469,6 +681,15 @@ mod tests {
 
     fn test_chip() -> Chip {
         Chip::new(Geometry::small(), ChipParams::default(), 1234)
+    }
+
+    fn analytic_chip() -> Chip {
+        Chip::with_fidelity(
+            Geometry::small(),
+            ChipParams::default(),
+            1234,
+            ReadFidelity::PageAnalytic,
+        )
     }
 
     #[test]
@@ -634,5 +855,55 @@ mod tests {
             (0..64).map(|wl| chip.wordline_rber(0, wl).unwrap()).sum();
         let block = chip.block_rber(0).unwrap();
         assert_eq!(total, block, "per-wordline sums must equal the block oracle");
+    }
+
+    #[test]
+    fn analytic_chip_serves_reads_and_counters() {
+        let mut chip = analytic_chip();
+        assert_eq!(chip.fidelity(), ReadFidelity::PageAnalytic);
+        chip.program_block_random(0, 55).unwrap();
+        let truth = chip.intended_page_bits(0, 3).unwrap();
+        let out = chip.read_page(0, 3).unwrap();
+        assert_eq!(bits::hamming(&truth, &out.data), out.stats.errors);
+        assert_eq!(chip.block_status(0).unwrap().reads_since_erase, 1);
+        // Refresh works from stored payloads.
+        chip.refresh_block(0).unwrap();
+        assert_eq!(chip.intended_page_bits(0, 3).unwrap(), truth);
+        assert_eq!(chip.block_status(0).unwrap().reads_since_erase, 0);
+    }
+
+    #[test]
+    fn analytic_chip_is_deterministic_given_seed() {
+        let run = || {
+            let mut chip = analytic_chip();
+            chip.cycle_block(1, 8_000).unwrap();
+            chip.program_block_random(1, 3).unwrap();
+            let mut errors = 0;
+            for page in 0..chip.geometry().pages_per_block() {
+                errors += chip.read_page(1, page).unwrap().stats.errors;
+            }
+            (errors, chip.block_rber(1).unwrap())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn analytic_chip_rejects_per_cell_oracles() {
+        let mut chip = analytic_chip();
+        chip.program_block_random(0, 1).unwrap();
+        assert!(matches!(chip.vth_histogram(0, 4.0), Err(FlashError::FidelityUnsupported { .. })));
+        assert!(matches!(
+            chip.measure_wordline_vth(0, 0, 1.0, false),
+            Err(FlashError::FidelityUnsupported { .. })
+        ));
+        assert!(matches!(chip.block(0), Err(FlashError::FidelityUnsupported { .. })));
+        assert!(matches!(
+            chip.read_retry(0, 0, -10.0),
+            Err(FlashError::FidelityUnsupported { .. })
+        ));
+        // Default refs and zero shift are served.
+        let refs = chip.params().refs;
+        assert!(chip.read_page_with_refs(0, 0, &refs).is_ok());
+        assert!(chip.read_retry(0, 0, 0.0).is_ok());
     }
 }

@@ -54,6 +54,14 @@ pub enum FlashError {
         /// Highest supported value.
         max: f64,
     },
+    /// The operation needs per-cell state the chip's fidelity tier does not
+    /// keep (e.g. Vth histograms or read-retry sweeps on a
+    /// [`crate::ReadFidelity::PageAnalytic`] chip). Rebuild the chip with
+    /// [`crate::ReadFidelity::CellExact`] to run it.
+    FidelityUnsupported {
+        /// The operation that was requested.
+        op: &'static str,
+    },
 }
 
 impl std::fmt::Display for FlashError {
@@ -79,6 +87,9 @@ impl std::fmt::Display for FlashError {
             }
             FlashError::VpassOutOfRange { requested, min, max } => {
                 write!(f, "pass-through voltage {requested} outside supported range [{min}, {max}]")
+            }
+            FlashError::FidelityUnsupported { op } => {
+                write!(f, "{op} requires per-cell state (CellExact fidelity)")
             }
         }
     }

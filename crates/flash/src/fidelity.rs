@@ -1,0 +1,99 @@
+//! Read-path fidelity tiers.
+//!
+//! The simulator serves two kinds of questions with very different cost
+//! profiles:
+//!
+//! * **Characterization** (Figs. 2–6, 10, RDR recovery) needs per-cell
+//!   threshold voltages — Vth histograms, read-retry sweeps, per-cell
+//!   disturb susceptibility. Only the Monte-Carlo cell model can answer
+//!   these, at O(cells) per page read.
+//! * **SSD-scale evaluation** (sustained-traffic replay, mitigation
+//!   lifetime comparisons) only needs statistically faithful per-page
+//!   error counts. The closed-form [`crate::analytic`] model — already
+//!   calibrated against the Monte-Carlo chip by the calibration suite —
+//!   answers these at O(errors) per page read.
+//!
+//! [`ReadFidelity`] selects the tier a [`crate::Chip`] is built with (via
+//! [`crate::ChipParams::fidelity`]); the knob threads unchanged through
+//! `rd_ftl::SsdConfig` → `rd_ftl::Die` → `rd_engine::EngineConfig`.
+//!
+//! # Tier contract
+//!
+//! | Operation | `CellExact` | `PageAnalytic` |
+//! |---|---|---|
+//! | `read_page`, `program_page`, `erase`, refresh | per-cell Monte-Carlo | sampled from the analytic model |
+//! | `block_rber` / `wordline_rber` | per-cell oracle | closed-form expectation |
+//! | disturb accounting | per-read dose updates | batched per-(block, wordline) counters, folded lazily |
+//! | `ReadReclaim`, Vpass Tuning, refresh policies | exact | fully supported (counter/probe driven) |
+//! | Vth histograms, read-retry sweeps, RDR, per-cell oracles | exact | [`crate::FlashError::FidelityUnsupported`] |
+//!
+//! `CellExact` is the default everywhere and is bit-for-bit identical to
+//! the behaviour before the tier existed (the golden-run suite enforces
+//! this). `PageAnalytic` is deterministic per seed and bit-identical for
+//! any engine worker-thread count, but produces a *different* (sampled)
+//! error stream than `CellExact` by construction.
+
+/// Fidelity tier of a chip's read path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReadFidelity {
+    /// Per-cell Monte-Carlo simulation (the default): every read evaluates
+    /// each cell's threshold voltage. Exact, supports every characterization
+    /// oracle, O(cells) per page read.
+    #[default]
+    CellExact,
+    /// Closed-form analytic error model: reads sample an error count and
+    /// error positions from the calibrated RBER model (per-block P/E,
+    /// read-disturb count, retention age, and Vpass as inputs) using the
+    /// chip's seeded RNG. Statistically faithful, O(errors) per page read;
+    /// per-cell oracles are unavailable.
+    PageAnalytic,
+}
+
+impl ReadFidelity {
+    /// Stable lowercase identifier (used in benchmark JSON rows and CLI
+    /// arguments).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ReadFidelity::CellExact => "cell-exact",
+            ReadFidelity::PageAnalytic => "page-analytic",
+        }
+    }
+}
+
+impl std::fmt::Display for ReadFidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for ReadFidelity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cell-exact" | "exact" => Ok(ReadFidelity::CellExact),
+            "page-analytic" | "analytic" => Ok(ReadFidelity::PageAnalytic),
+            other => Err(format!("unknown fidelity tier: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_cell_exact() {
+        assert_eq!(ReadFidelity::default(), ReadFidelity::CellExact);
+    }
+
+    #[test]
+    fn round_trips_through_strings() {
+        for tier in [ReadFidelity::CellExact, ReadFidelity::PageAnalytic] {
+            assert_eq!(tier.as_str().parse::<ReadFidelity>().unwrap(), tier);
+            assert_eq!(tier.to_string(), tier.as_str());
+        }
+        assert_eq!("analytic".parse::<ReadFidelity>().unwrap(), ReadFidelity::PageAnalytic);
+        assert!("mlc".parse::<ReadFidelity>().is_err());
+    }
+}

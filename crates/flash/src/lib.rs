@@ -30,6 +30,13 @@
 //!    (endurance evaluation, Fig. 8), calibrated to the paper's reported
 //!    curves (see `DESIGN.md` §4).
 //!
+//! A [`Chip`] itself can be built at either tier via
+//! [`ReadFidelity`]: the default [`ReadFidelity::CellExact`] runs the
+//! per-cell simulation, while [`ReadFidelity::PageAnalytic`] serves page
+//! reads from the calibrated closed-form model at O(errors) per read —
+//! the tier SSD-scale trace replay uses (see [`fidelity`] for the
+//! contract between the two).
+//!
 //! ## Quick example
 //!
 //! ```
@@ -55,12 +62,14 @@ pub mod bits;
 pub mod cell_array;
 pub mod chip;
 pub mod error;
+pub mod fidelity;
 pub mod geometry;
 pub mod math;
 pub mod noise;
 pub mod params;
 pub mod state;
 
+mod analytic_block;
 mod block;
 
 pub use analytic::{AnalyticModel, AnalyticParams, RberBreakdown};
@@ -68,6 +77,7 @@ pub use block::{Block, BlockStatus};
 pub use cell_array::CellArray;
 pub use chip::{Chip, ReadOutcome, RetryReadOutcome, VthHistogram};
 pub use error::FlashError;
+pub use fidelity::ReadFidelity;
 pub use geometry::{CellAddr, Geometry, PageAddr, PageKind, WordlineAddr};
 pub use params::{ChipParams, StateParams, NOMINAL_VPASS};
 pub use state::{CellState, StateRegion, VoltageRefs};

@@ -1,7 +1,7 @@
 //! Cell-to-cell program interference: programming a wordline couples
 //! capacitively into its neighbours, broadening their distributions.
 //!
-//! The paper treats interference as a separate noise source ([11, 14]); in
+//! The paper treats interference as a separate noise source (\[11, 14\]); in
 //! this model it is a constant extra Gaussian sigma folded into the
 //! programming distribution (`ChipParams::program_interference_sigma`),
 //! applied in quadrature by [`crate::ChipParams::state_dist`]. This module

@@ -5,6 +5,7 @@
 //! record). The voltage scale is the paper's normalization: GND = 0 and the
 //! nominal pass-through voltage = 512 (§2).
 
+use crate::fidelity::ReadFidelity;
 use crate::state::{CellState, VoltageRefs};
 
 /// The nominal pass-through voltage on the normalized scale (paper §2:
@@ -34,6 +35,11 @@ pub struct ChipParams {
     /// read-retry ranges bound how far Vref (and hence the mimicked Vpass)
     /// can move; the paper explores down to 94% of nominal (Fig. 4).
     pub min_vpass: f64,
+    /// Fidelity tier of the chip built from these parameters:
+    /// per-cell Monte-Carlo ([`ReadFidelity::CellExact`], the default) or
+    /// the sampled closed-form model ([`ReadFidelity::PageAnalytic`]) for
+    /// SSD-scale replay. See [`crate::fidelity`] for the tier contract.
+    pub fidelity: ReadFidelity,
 
     // --- P/E cycling noise -------------------------------------------------
     /// Coefficient of the P/E-cycling raw bit error rate
@@ -97,7 +103,7 @@ pub struct ChipParams {
     /// Extra disturb dose received by the *direct neighbours* of a
     /// repeatedly-read wordline, as a multiple of the uniform per-read
     /// dose. Models the concentrated read disturb effect reported for
-    /// mid-1X TLC parts (paper §5, Zambelli et al. [97]); neighbours of a
+    /// mid-1X TLC parts (paper §5, Zambelli et al. \[97\]); neighbours of a
     /// hammered page accumulate `1 + rd_neighbor_boost` times the dose of
     /// distant wordlines.
     pub rd_neighbor_boost: f64,
@@ -189,6 +195,7 @@ impl Default for ChipParams {
             ],
             refs: VoltageRefs::default(),
             min_vpass: 0.90 * NOMINAL_VPASS,
+            fidelity: ReadFidelity::CellExact,
 
             pe_rber_coeff: 1.6e-5,
             pe_rber_exp: 1.6,

@@ -1,6 +1,6 @@
 //! SSD configuration.
 
-use rd_flash::{ChipParams, Geometry};
+use rd_flash::{ChipParams, Geometry, ReadFidelity};
 
 /// Configuration of the simulated SSD.
 #[derive(Debug, Clone)]
@@ -51,6 +51,21 @@ impl SsdConfig {
             ecc_capability_rber: 2.0e-3,
             seed,
         }
+    }
+
+    /// The read-path fidelity tier the die's chip is built at (carried by
+    /// [`ChipParams::fidelity`]; [`ReadFidelity::CellExact`] by default).
+    pub fn fidelity(&self) -> ReadFidelity {
+        self.chip_params.fidelity
+    }
+
+    /// Returns the configuration with the chip built at `fidelity` —
+    /// [`ReadFidelity::PageAnalytic`] swaps the per-cell Monte-Carlo read
+    /// path for the sampled closed-form model (SSD-scale replay tier).
+    #[must_use]
+    pub fn with_fidelity(mut self, fidelity: ReadFidelity) -> Self {
+        self.chip_params.fidelity = fidelity;
+        self
     }
 
     /// Number of logical pages exported to the host.
@@ -110,6 +125,16 @@ mod tests {
         let physical = c.geometry.blocks as u64 * c.geometry.pages_per_block() as u64;
         assert!(c.logical_pages() < physical);
         assert!(c.logical_pages() > physical / 2);
+    }
+
+    #[test]
+    fn fidelity_defaults_exact_and_threads_to_chip_params() {
+        let c = SsdConfig::small_test();
+        assert_eq!(c.fidelity(), ReadFidelity::CellExact);
+        let a = c.with_fidelity(ReadFidelity::PageAnalytic);
+        assert_eq!(a.fidelity(), ReadFidelity::PageAnalytic);
+        assert_eq!(a.chip_params.fidelity, ReadFidelity::PageAnalytic);
+        a.validate();
     }
 
     #[test]

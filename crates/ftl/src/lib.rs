@@ -9,7 +9,7 @@
 //! * **remapping-based refresh** on the paper's assumed 7-day interval
 //!   (§3: "the refresh interval");
 //! * the **read reclaim** baseline mitigation — remap a block's data after a
-//!   fixed read count (paper §5: Yaffs-style, [29]);
+//!   fixed read count (paper §5: Yaffs-style, \[29\]);
 //! * a [`MitigationPolicy`] hook through which `rd-core` plugs Vpass Tuning
 //!   into the same controller.
 //!
@@ -43,8 +43,11 @@ pub mod stats;
 
 pub use config::SsdConfig;
 pub use die::{Die, HostRead};
+// Re-export: the fidelity knob threads ChipParams → SsdConfig → Die →
+// EngineConfig, and rd-engine reaches it through this crate.
 pub use error::FtlError;
 pub use mapping::{PageMap, Ppa};
 pub use policy::{MitigationPolicy, NoMitigation, PolicyAction, PolicyContext, ReadReclaim};
+pub use rd_flash::ReadFidelity;
 pub use ssd::Ssd;
 pub use stats::SsdStats;

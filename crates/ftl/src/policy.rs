@@ -65,7 +65,7 @@ impl MitigationPolicy for NoMitigation {
 }
 
 /// Read reclaim: remap a block once it has served a fixed number of reads
-/// (prior art the paper compares against, §5: Yaffs-style, [21, 29, 30, 40]).
+/// (prior art the paper compares against, §5: Yaffs-style, \[21, 29, 30, 40\]).
 #[derive(Debug, Clone, Copy)]
 pub struct ReadReclaim {
     /// Reads after which a block is reclaimed (e.g. 50 000 for MLC, the

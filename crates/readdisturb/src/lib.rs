@@ -67,8 +67,8 @@ pub mod prelude {
     pub use rd_ecc::{BchCode, MarginPolicy, PageEccModel, ThresholdEcc};
     pub use rd_engine::{Engine, EngineConfig, EngineStats, ReqKind, Timing, Topology};
     pub use rd_flash::{
-        AnalyticModel, BitErrorStats, CellState, Chip, ChipParams, Geometry, VoltageRefs,
-        NOMINAL_VPASS,
+        AnalyticModel, BitErrorStats, CellState, Chip, ChipParams, Geometry, ReadFidelity,
+        VoltageRefs, NOMINAL_VPASS,
     };
     pub use rd_ftl::{MitigationPolicy, NoMitigation, ReadReclaim, Ssd, SsdConfig};
     pub use rd_workloads::{TraceGenerator, TraceStats, WorkloadProfile};

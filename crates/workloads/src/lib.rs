@@ -1,7 +1,7 @@
 //! # rd-workloads — synthetic storage workloads for endurance evaluation
 //!
 //! The paper evaluates Vpass Tuning "with I/O traces collected from a wide
-//! range of real workloads with different use cases [38, 43, 65, 83, 89]"
+//! range of real workloads with different use cases \[38, 43, 65, 83, 89\]"
 //! (Postmark, FIU I/O-dedup, MSR write-offloading, SNIA Cello99, UMass).
 //! Those traces are not redistributable, so this crate provides synthetic
 //! generators with matched aggregate statistics — the quantities the
@@ -9,7 +9,7 @@
 //!
 //! * the **read/write mix** and daily operation volume;
 //! * the **read locality**: contemporary workloads concentrate reads on few
-//!   blocks with high temporal locality (paper §1, citing [65, 89]), modelled
+//!   blocks with high temporal locality (paper §1, citing \[65, 89\]), modelled
 //!   as a Zipfian block-popularity distribution;
 //! * the **footprint** over which operations spread.
 //!

@@ -39,7 +39,7 @@ impl TraceOp {
 /// Inter-arrival times are exponential at the profile's mean rate. Reads
 /// pick a block by Zipfian popularity (hot blocks), writes spread more
 /// evenly (popularity exponent halved, matching the write-offloading
-/// observation that read heat and write heat decouple [65]).
+/// observation that read heat and write heat decouple \[65\]).
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
     rng: StdRng,
