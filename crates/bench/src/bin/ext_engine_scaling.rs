@@ -4,26 +4,38 @@
 //! `CellExact` and `PageAnalytic` fidelity tiers head-to-head on the same
 //! trace (host wall-clock throughput, RBER summary, data digest).
 //!
-//! Emits every row to `target/figures/ext_engine_scaling.jsonl` *and* as a
-//! JSON array to `BENCH_PERF.json` at the workspace root — the per-commit
-//! perf-trajectory snapshot the CI `bench-smoke` job uploads.
+//! Emits every row to `target/figures/ext_engine_scaling.jsonl` *and*
+//! appends one run entry (keyed by git SHA) to the `BENCH_PERF.json`
+//! trajectory at the workspace root — the accumulating perf history the
+//! CI `bench-smoke` job uploads and gates against.
 //!
 //! Built-in gates: simulated throughput must scale with die count, both
-//! tiers must replay bit-identically on re-run (FNV digest included), and
-//! the analytic tier must beat the exact tier by the configured factor
-//! (≥10× full mode, ≥5× `--quick`).
+//! tiers must replay bit-identically on re-run (FNV digest included), the
+//! analytic tier must beat the exact tier by the configured factor (≥10×
+//! full mode, ≥5× `--quick`), and — when the committed trajectory already
+//! holds an entry of the same mode — the analytic host throughput must not
+//! regress by more than 20% against it (`--no-regression-gate` disables).
 //!
-//! Usage: `ext_engine_scaling [--quick]`
+//! Usage: `ext_engine_scaling [--quick] [--no-regression-gate]`
 
 use rd_bench::perf::{run_harness, HarnessConfig};
+use rd_bench::trajectory;
+
+/// Allowed host-kIOPS drop vs the latest committed same-mode entry.
+const REGRESSION_TOLERANCE: f64 = 0.20;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate_enabled = !args.iter().any(|a| a == "--no-regression-gate");
     let config = if quick { HarnessConfig::quick() } else { HarnessConfig::full() };
+
+    // Read the baseline BEFORE appending this run's entry.
+    let baseline = trajectory::latest_perf_host_kiops("BENCH_PERF", config.mode, "page-analytic");
+
     let outcome = run_harness(&config);
 
     rd_bench::emit_jsonl("ext_engine_scaling", &outcome.rows);
-    rd_bench::emit_bench_json("BENCH_PERF", &outcome.rows);
 
     rd_bench::shape_check(
         "analytic-over-exact replay speedup (4x4 topology)",
@@ -48,4 +60,42 @@ fn main() {
         outcome.analytic.wall_s * 1e3,
         outcome.speedup(),
     );
+    println!(
+        "## recovery: {} recovered, {} uncorrectable, {} retry reads, uber {:.3e}",
+        outcome.analytic.stats.recovered_reads,
+        outcome.analytic.stats.uncorrectable_reads,
+        outcome.analytic.stats.recovery_reads,
+        outcome.analytic.stats.uber,
+    );
+
+    // Trajectory regression gate: current analytic host throughput vs the
+    // latest committed entry of the same mode. The gate runs BEFORE this
+    // run's entry is appended, so a failing run never installs its own
+    // regressed number as the next baseline.
+    match baseline {
+        Some(base) if base > 0.0 => {
+            let current = outcome.analytic.host_kiops();
+            let floor = base * (1.0 - REGRESSION_TOLERANCE);
+            println!(
+                "## trajectory gate ({}): current {current:.1} kIOPS vs baseline {base:.1} \
+                 (floor {floor:.1})",
+                config.mode,
+            );
+            if gate_enabled {
+                assert!(
+                    current >= floor,
+                    "analytic host throughput regressed >{:.0}%: {current:.1} kIOPS vs \
+                     trajectory baseline {base:.1}",
+                    REGRESSION_TOLERANCE * 100.0,
+                );
+            }
+        }
+        _ => println!(
+            "## trajectory gate ({}): no committed baseline for this mode; gate skipped",
+            config.mode,
+        ),
+    }
+
+    // Record the run only once the gates have passed.
+    trajectory::append_run("BENCH_PERF", config.mode, &outcome.rows);
 }

@@ -1,12 +1,18 @@
 //! Shared plumbing for the figure-regeneration binaries: CSV emission to
-//! `target/figures/` and stdout, plus the engine perf harness ([`perf`])
-//! behind `ext_engine_scaling` and the CI `bench-smoke` job.
+//! `target/figures/` and stdout, the shared trace-replay helpers
+//! ([`replay`]: engine setup, measurement, JSON row emission), the engine
+//! perf harness ([`perf`]) behind `ext_engine_scaling` and the CI
+//! `bench-smoke` job, and the append-only perf-trajectory history
+//! ([`trajectory`]: `BENCH_PERF.json`, one entry per run keyed by git
+//! SHA).
 
 use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
 
 pub mod perf;
+pub mod replay;
+pub mod trajectory;
 
 /// Writes `rows` (already comma-joined) under a header to
 /// `target/figures/<name>.csv` and echoes the first rows to stdout.
@@ -50,25 +56,6 @@ pub fn emit_jsonl(name: &str, rows: &[String]) {
         writeln!(file, "{row}").expect("write row");
         println!("{row}");
     }
-    println!("# {name}: {} rows -> {}", rows.len(), path.display());
-}
-
-/// Writes `rows` (JSON objects) as a pretty-printed JSON array to
-/// `<name>.json` in the working directory — the perf-trajectory snapshot
-/// format (`BENCH_PERF.json`) the CI `bench-smoke` job uploads per commit.
-///
-/// # Panics
-///
-/// Panics on I/O failure (these are experiment binaries).
-pub fn emit_bench_json(name: &str, rows: &[String]) {
-    let path = PathBuf::from(format!("{name}.json"));
-    let mut file = fs::File::create(&path).expect("create bench json");
-    writeln!(file, "[").expect("write open bracket");
-    for (i, row) in rows.iter().enumerate() {
-        let comma = if i + 1 < rows.len() { "," } else { "" };
-        writeln!(file, "  {row}{comma}").expect("write row");
-    }
-    writeln!(file, "]").expect("write close bracket");
     println!("# {name}: {} rows -> {}", rows.len(), path.display());
 }
 

@@ -4,13 +4,9 @@
 //! (wall-clock replay speed — the number the ROADMAP's perf trajectory
 //! tracks).
 //!
-//! Every JSON row is self-describing: it carries the engine topology, the
-//! fidelity tier, the trace identity, the controller counters
-//! (`SsdStats` totals), an RBER summary, and the FNV data digest, so a
-//! `BENCH_PERF.json` snapshot can be compared across commits without
-//! context.
-//!
-//! Built-in gates (run by [`run_harness`]):
+//! Engine setup, measurement, and JSON row emission live in
+//! [`crate::replay`] (shared with the other engine-scale bins); this
+//! module owns the sweep orchestration and the built-in gates:
 //!
 //! * **determinism** — the comparison topology is re-run at both tiers and
 //!   must reproduce bit-identically (digest included);
@@ -18,44 +14,10 @@
 //!   `PageAnalytic` replay must beat `CellExact` by at least that factor
 //!   on the same trace and topology.
 
-use std::time::Instant;
-
+pub use crate::replay::{
+    die_config, harness_trace, json_row, measure_replay, ReplayMeasurement, TRACE_SEED,
+};
 use readdisturb::prelude::*;
-use readdisturb::workloads::TraceOp;
-
-/// Trace seed shared by the engine-scale suites.
-pub const TRACE_SEED: u64 = 2015;
-
-/// One measured replay: engine statistics plus wall-clock cost.
-#[derive(Debug, Clone)]
-pub struct ReplayMeasurement {
-    /// Topology: channels.
-    pub channels: u32,
-    /// Topology: dies per channel.
-    pub dies_per_channel: u32,
-    /// Fidelity tier the dies ran at.
-    pub fidelity: ReadFidelity,
-    /// Engine statistics after the replay.
-    pub stats: EngineStats,
-    /// Wall-clock seconds spent inside `Engine::replay` (construction
-    /// excluded — the trajectory tracks steady-state replay cost).
-    pub wall_s: f64,
-    /// Aggregate block RBER over every valid block of every die
-    /// (closed-form expectation on analytic dies, per-cell oracle on exact
-    /// ones).
-    pub mean_block_rber: f64,
-}
-
-impl ReplayMeasurement {
-    /// Host-side replay throughput in kIOPS (trace ops per wall second).
-    pub fn host_kiops(&self) -> f64 {
-        if self.wall_s <= 0.0 {
-            0.0
-        } else {
-            self.stats.ops as f64 / self.wall_s / 1e3
-        }
-    }
-}
 
 /// Configuration of one harness run.
 #[derive(Debug, Clone)]
@@ -71,6 +33,8 @@ pub struct HarnessConfig {
     /// Minimum required analytic-over-exact wall-clock speedup; `None`
     /// disables the gate (smoke runs on tiny traces).
     pub min_speedup: Option<f64>,
+    /// Trajectory mode tag this configuration records (and gates) under.
+    pub mode: &'static str,
 }
 
 impl HarnessConfig {
@@ -86,6 +50,7 @@ impl HarnessConfig {
                 .collect(),
             perf_topology: (4, 4),
             min_speedup: Some(10.0),
+            mode: "full",
         }
     }
 
@@ -98,6 +63,7 @@ impl HarnessConfig {
             sweep: vec![(1, 1), (2, 2), (4, 4)],
             perf_topology: (4, 4),
             min_speedup: Some(5.0),
+            mode: "quick",
         }
     }
 
@@ -108,6 +74,7 @@ impl HarnessConfig {
             sweep: vec![(1, 1), (2, 2)],
             perf_topology: (2, 2),
             min_speedup: None,
+            mode: "smoke",
         }
     }
 }
@@ -128,105 +95,6 @@ impl HarnessOutcome {
     pub fn speedup(&self) -> f64 {
         self.exact.wall_s / self.analytic.wall_s.max(1e-12)
     }
-}
-
-/// The per-die configuration the engine-scale suites share.
-pub fn die_config() -> SsdConfig {
-    SsdConfig::engine_scale(TRACE_SEED)
-}
-
-/// Generates the harness trace (umass-web stands in for the paper's
-/// WebSearch trace: 85% reads with strong Zipfian block popularity — the
-/// read-disturb-heavy case).
-pub fn harness_trace(trace_ops: usize) -> Vec<TraceOp> {
-    let profile = WorkloadProfile::by_name("umass-web").expect("profile");
-    let pages_per_block = die_config().geometry.pages_per_block();
-    profile.generator(TRACE_SEED, pages_per_block).take(trace_ops).collect()
-}
-
-fn engine_config(channels: u32, dies_per_channel: u32, fidelity: ReadFidelity) -> EngineConfig {
-    EngineConfig {
-        topology: Topology { channels, dies_per_channel },
-        die: die_config(),
-        timing: Timing::default(),
-        queue_depth: 16,
-        capture_read_data: false,
-    }
-    .with_fidelity(fidelity)
-}
-
-/// Replays `ops` on a fresh engine and measures wall-clock cost and the
-/// post-replay RBER summary.
-pub fn measure_replay(
-    ops: &[TraceOp],
-    channels: u32,
-    dies_per_channel: u32,
-    fidelity: ReadFidelity,
-) -> ReplayMeasurement {
-    let mut engine =
-        Engine::new(engine_config(channels, dies_per_channel, fidelity)).expect("engine");
-    let start = Instant::now();
-    let stats = engine.replay(ops.iter().copied(), 0);
-    let wall_s = start.elapsed().as_secs_f64();
-
-    let mut errors = 0.0f64;
-    let mut bits = 0u64;
-    for d in 0..engine.config().topology.dies() {
-        let die = engine.die(d);
-        let bits_per_page = die.chip().geometry().bits_per_page() as u64;
-        for block in die.valid_blocks() {
-            let pages = die.chip().block_status(block).expect("valid block").programmed_pages;
-            let b = pages as u64 * bits_per_page;
-            errors += die.chip().block_rber_rate(block).expect("valid block") * b as f64;
-            bits += b;
-        }
-    }
-    let mean_block_rber = if bits == 0 { 0.0 } else { errors / bits as f64 };
-    ReplayMeasurement { channels, dies_per_channel, fidelity, stats, wall_s, mean_block_rber }
-}
-
-/// Renders a measurement as one self-describing JSON row.
-pub fn json_row(kind: &str, trace_ops: usize, m: &ReplayMeasurement) -> String {
-    let s = &m.stats;
-    let totals = s.totals();
-    let hottest = s.per_die.iter().map(|d| d.hottest_block_reads).max().unwrap_or(0);
-    format!(
-        concat!(
-            "{{\"kind\":\"{}\",\"trace\":\"umass-web\",\"trace_ops\":{},",
-            "\"channels\":{},\"dies_per_channel\":{},\"dies\":{},\"fidelity\":\"{}\",",
-            "\"ops\":{},\"reads\":{},\"writes\":{},",
-            "\"wall_ms\":{:.3},\"host_kiops\":{:.2},\"sim_kiops\":{:.2},",
-            "\"makespan_ms\":{:.3},\"p50_us\":{:.1},\"p99_us\":{:.1},\"mean_us\":{:.1},",
-            "\"mean_block_rber\":{:.3e},\"corrected_bits\":{},\"uncorrectable\":{},",
-            "\"hottest_block_reads\":{},\"host_writes\":{},\"gc_writes\":{},",
-            "\"refresh_writes\":{},\"erases\":{},\"digest\":\"{:016x}\"}}"
-        ),
-        kind,
-        trace_ops,
-        m.channels,
-        m.dies_per_channel,
-        s.dies,
-        m.fidelity,
-        s.ops,
-        s.reads,
-        s.writes,
-        m.wall_s * 1e3,
-        m.host_kiops(),
-        s.iops() / 1e3,
-        s.makespan_us / 1e3,
-        s.latency_p50_us,
-        s.latency_p99_us,
-        s.latency_mean_us,
-        m.mean_block_rber,
-        s.corrected_bits,
-        s.uncorrectable_reads,
-        hottest,
-        totals.host_writes,
-        totals.gc_writes,
-        totals.refresh_writes,
-        totals.erases,
-        s.data_digest,
-    )
 }
 
 /// Runs the harness: the exact-tier scaling sweep, the exact-vs-analytic

@@ -1,0 +1,231 @@
+//! The perf trajectory: an append-only `BENCH_PERF.json` history.
+//!
+//! Each harness run appends **one entry** — `{"commit": …, "mode": …,
+//! "rows": […]}` — keyed by the git SHA at which it ran, instead of
+//! overwriting the snapshot. The CI `bench-smoke` job both appends its run
+//! and gates the current host-throughput against the latest committed
+//! entry of the same mode (see [`latest_perf_host_kiops`]).
+//!
+//! The format is deliberately line-oriented JSON (one row object per line)
+//! so the file stays greppable and the no-dependency reader below can
+//! navigate it without a JSON parser.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Resolves the commit key for a trajectory entry: `BENCH_COMMIT` env
+/// override (CI sets it from the workflow context), else `git rev-parse
+/// --short=12 HEAD`, else `"unknown"`.
+pub fn commit_key() -> String {
+    if let Ok(sha) = std::env::var("BENCH_COMMIT") {
+        if !sha.trim().is_empty() {
+            return sha.trim().to_string();
+        }
+    }
+    Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn render_entry(commit: &str, mode: &str, rows: &[String]) -> String {
+    let mut out = format!("  {{\"commit\":\"{commit}\",\"mode\":\"{mode}\",\"rows\":[\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!("    {row}{comma}\n"));
+    }
+    out.push_str("  ]}");
+    out
+}
+
+/// Appends one run entry to `<name>.json` in the working directory,
+/// creating the file as a one-entry array if it does not exist. The entry
+/// is keyed by [`commit_key`]; returns that key.
+///
+/// # Panics
+///
+/// Panics on I/O failure or a trajectory file that is not a JSON array
+/// (these are experiment binaries).
+pub fn append_run(name: &str, mode: &str, rows: &[String]) -> String {
+    let commit = commit_key();
+    append_run_at(Path::new("."), name, &commit, mode, rows);
+    println!("# {name}: appended {} rows under commit {commit} (mode {mode})", rows.len());
+    commit
+}
+
+/// [`append_run`] against an explicit directory and commit key. A re-run
+/// at the same `(commit, mode)` replaces its previous entry instead of
+/// accumulating duplicates, so retried CI jobs and repeated local runs
+/// keep one entry per commit.
+pub fn append_run_at(dir: &Path, name: &str, commit: &str, mode: &str, rows: &[String]) {
+    let path = dir.join(format!("{name}.json"));
+    let entry = render_entry(commit, mode, rows);
+    let existing = fs::read_to_string(&path).unwrap_or_default();
+    let trimmed = remove_entry(existing.trim(), commit, mode);
+    let trimmed = trimmed.trim();
+    let content = if trimmed.is_empty() || trimmed == "[]" {
+        format!("[\n{entry}\n]\n")
+    } else {
+        let close = trimmed.rfind(']').expect("trajectory file is not a JSON array");
+        let body = trimmed[..close].trim_end();
+        let sep = if body.ends_with('[') { "\n" } else { ",\n" };
+        format!("{body}{sep}{entry}\n]\n")
+    };
+    fs::write(&path, content).expect("write trajectory");
+}
+
+/// Drops every existing entry keyed `(commit, mode)`, rebuilding the
+/// array from the remaining entries. Entries are rendered by
+/// [`render_entry`]: each starts at `{"commit":` and ends at the next
+/// `]}` (rows are flat JSON objects, so the terminator is unambiguous).
+fn remove_entry(content: &str, commit: &str, mode: &str) -> String {
+    let trimmed = content.trim();
+    if trimmed.is_empty() || trimmed == "[]" {
+        return trimmed.to_string();
+    }
+    let mut entries: Vec<&str> = Vec::new();
+    let mut rest = trimmed;
+    while let Some(start) = rest.find("{\"commit\":") {
+        let Some(end) = rest[start..].find("]}") else { break };
+        entries.push(&rest[start..start + end + 2]);
+        rest = &rest[start + end + 2..];
+    }
+    if entries.is_empty() {
+        // Not the entry format (e.g. a legacy flat-row snapshot): leave it
+        // untouched and let the caller append after it.
+        return trimmed.to_string();
+    }
+    let marker = format!("{{\"commit\":\"{commit}\",\"mode\":\"{mode}\",");
+    let kept: Vec<&str> = entries.into_iter().filter(|e| !e.starts_with(&marker)).collect();
+    if kept.is_empty() {
+        return "[]".to_string();
+    }
+    let mut out = String::from("[\n");
+    for (i, entry) in kept.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(entry);
+        if i + 1 < kept.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Reads the latest trajectory entry of `mode` from `<name>.json` in the
+/// working directory and returns the `host_kiops` of its `"kind":"perf"`
+/// row at `fidelity` (e.g. `"page-analytic"`). `None` when the file, the
+/// mode, or the row is absent — callers treat that as "no baseline yet".
+pub fn latest_perf_host_kiops(name: &str, mode: &str, fidelity: &str) -> Option<f64> {
+    latest_perf_host_kiops_at(Path::new("."), name, mode, fidelity)
+}
+
+/// [`latest_perf_host_kiops`] against an explicit directory.
+pub fn latest_perf_host_kiops_at(
+    dir: &Path,
+    name: &str,
+    mode: &str,
+    fidelity: &str,
+) -> Option<f64> {
+    let path: PathBuf = dir.join(format!("{name}.json"));
+    let content = fs::read_to_string(path).ok()?;
+    let mode_tag = format!("\"mode\":\"{mode}\"");
+    let fid_tag = format!("\"fidelity\":\"{fidelity}\"");
+    // Entries start at `{"commit":`; take the last one carrying the mode
+    // tag, then its last perf row at the requested fidelity.
+    let latest =
+        content.split("{\"commit\":").filter(|segment| segment.contains(&mode_tag)).last()?;
+    latest
+        .lines()
+        .filter(|line| line.contains("\"kind\":\"perf\"") && line.contains(&fid_tag))
+        .filter_map(|line| json_number(line, "host_kiops"))
+        .next_back()
+}
+
+/// Extracts a bare JSON number field from a one-line object rendering.
+fn json_number(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("traj-test-{tag}-{}", std::process::id()));
+        fs::remove_dir_all(&dir).ok();
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn json_number_extraction() {
+        let line = r#"{"kind":"perf","host_kiops":878.45,"sim_kiops":35.11}"#;
+        assert_eq!(json_number(line, "host_kiops"), Some(878.45));
+        assert_eq!(json_number(line, "sim_kiops"), Some(35.11));
+        assert_eq!(json_number(line, "absent"), None);
+    }
+
+    #[test]
+    fn append_accumulates_and_latest_reads_back() {
+        let dir = scratch_dir("accumulate");
+        let row_a = r#"{"kind":"perf","fidelity":"page-analytic","host_kiops":100.0}"#;
+        let row_b = r#"{"kind":"perf","fidelity":"page-analytic","host_kiops":250.5}"#;
+        append_run_at(&dir, "TRAJ", "feedc0ffee01", "quick", &[row_a.to_string()]);
+        append_run_at(&dir, "TRAJ", "feedc0ffee02", "quick", &[row_b.to_string()]);
+        append_run_at(&dir, "TRAJ", "feedc0ffee03", "full", &[row_a.to_string()]);
+        let content = fs::read_to_string(dir.join("TRAJ.json")).unwrap();
+        assert_eq!(content.matches("\"commit\":").count(), 3, "three entries accumulated");
+        // Latest quick entry wins; the full entry does not shadow it.
+        assert_eq!(latest_perf_host_kiops_at(&dir, "TRAJ", "quick", "page-analytic"), Some(250.5));
+        assert_eq!(latest_perf_host_kiops_at(&dir, "TRAJ", "full", "page-analytic"), Some(100.0));
+        assert_eq!(latest_perf_host_kiops_at(&dir, "TRAJ", "quick", "cell-exact"), None);
+        assert_eq!(latest_perf_host_kiops_at(&dir, "ABSENT", "quick", "page-analytic"), None);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rerun_at_same_commit_and_mode_replaces_entry() {
+        let dir = scratch_dir("dedupe");
+        let row_a = r#"{"kind":"perf","fidelity":"page-analytic","host_kiops":100.0}"#;
+        let row_b = r#"{"kind":"perf","fidelity":"page-analytic","host_kiops":250.5}"#;
+        append_run_at(&dir, "TRAJ", "c000000000001", "quick", &[row_a.to_string()]);
+        append_run_at(&dir, "TRAJ", "c000000000001", "quick", &[row_b.to_string()]);
+        append_run_at(&dir, "TRAJ", "c000000000001", "full", &[row_a.to_string()]);
+        let content = fs::read_to_string(dir.join("TRAJ.json")).unwrap();
+        assert_eq!(
+            content.matches("\"commit\":").count(),
+            2,
+            "same (commit, mode) must replace, not accumulate: {content}"
+        );
+        assert_eq!(latest_perf_host_kiops_at(&dir, "TRAJ", "quick", "page-analytic"), Some(250.5));
+        assert_eq!(latest_perf_host_kiops_at(&dir, "TRAJ", "full", "page-analytic"), Some(100.0));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_migrates_from_empty_array() {
+        let dir = scratch_dir("empty");
+        fs::write(dir.join("TRAJ.json"), "[]\n").unwrap();
+        let row = r#"{"kind":"perf","fidelity":"cell-exact","host_kiops":5.0}"#;
+        append_run_at(&dir, "TRAJ", "cafe00000001", "quick", &[row.to_string()]);
+        assert_eq!(latest_perf_host_kiops_at(&dir, "TRAJ", "quick", "cell-exact"), Some(5.0));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn commit_key_is_nonempty() {
+        assert!(!commit_key().is_empty());
+    }
+}

@@ -302,3 +302,28 @@ fn ext_recovery_family() {
     let outcome = ror.optimize_wordline(&mut chip, 0, 0).unwrap();
     let _ = outcome;
 }
+
+/// ext_recovery_path: the recovery-pipeline scenario on its miniature
+/// config — the ECC line is crossed under traffic, the ladder engages,
+/// and retry work is charged to the engine clock, on both fidelity tiers.
+#[test]
+fn ext_recovery_path_scenario() {
+    use rd_bench::replay::{json_row, measure_recovery_scenario, RecoveryScenario};
+    let scenario = RecoveryScenario::smoke();
+    for fidelity in [ReadFidelity::CellExact, ReadFidelity::PageAnalytic] {
+        let m = measure_recovery_scenario(&scenario, fidelity);
+        let s = &m.stats;
+        assert!(
+            s.recovered_reads + s.uncorrectable_reads > 0,
+            "{fidelity}: no read ever crossed the ECC line"
+        );
+        assert!(s.recovered_reads > 0, "{fidelity}: the ladder never recovered a read");
+        assert!(s.recovery_reads > 0, "{fidelity}: recovery must spend retry reads");
+        assert!(s.background_us > 0.0, "{fidelity}: retry reads must cost engine time");
+        assert!((0.0..=1.0).contains(&s.uber), "{fidelity}: uber out of range: {}", s.uber);
+        let row = json_row("recovery", scenario.trace_ops, &m);
+        for key in ["\"recovered\"", "\"recovery_reads\"", "\"uber\"", "\"background_ms\""] {
+            assert!(row.contains(key), "row missing {key}: {row}");
+        }
+    }
+}

@@ -51,6 +51,7 @@ pub mod margin_probe;
 pub mod overhead;
 pub mod policy;
 pub mod rdr;
+pub mod recovery;
 pub mod rfr;
 pub mod ror;
 pub mod vpass_tuning;
@@ -59,6 +60,7 @@ pub use error::CoreError;
 pub use lifetime::{EnduranceConfig, EnduranceResult, Mitigation};
 pub use policy::VpassTuningPolicy;
 pub use rdr::{Rdr, RdrConfig, RdrOutcome};
+pub use recovery::{full_recovery_ladder, RfrRecoveryStep, RorRecoveryStep};
 pub use rfr::{Rfr, RfrConfig, RfrOutcome};
 pub use ror::{Ror, RorConfig, RorOutcome};
 pub use vpass_tuning::{TuneReport, VpassTuner, VpassTunerConfig};

@@ -1,18 +1,22 @@
-//! Controller integration: Vpass Tuning as an [`rd_ftl::MitigationPolicy`].
+//! Controller integration: Vpass Tuning as an [`rd_ftl::ControllerPolicy`].
 //!
 //! Plugs the paper's mechanism into the same SSD substrate as the baseline
 //! and read-reclaim policies, so endurance comparisons run the identical
 //! controller with only the mitigation swapped (paper §3's evaluation
-//! methodology).
+//! methodology). The tuner's probe reads are charged to the controller
+//! through [`rd_ftl::PolicyContext::charge_probe_reads`], so the engine's
+//! discrete-event clock pays tR for every margin probe and zero-counting
+//! read — the paper's §3 overhead accounting, now measured in engine time
+//! rather than modelled offline.
 
-use rd_flash::chip::ReadOutcome;
-use rd_ftl::{MitigationPolicy, PolicyAction, PolicyContext};
+use rd_ftl::{ControllerPolicy, PolicyAction, PolicyContext, DAY_NS};
 
 use crate::vpass_tuning::{VpassTuner, VpassTunerConfig};
 
-/// Vpass Tuning as a pluggable controller policy: on each daily tick, every
-/// block holding valid data is tuned — freshly-refreshed blocks get the
-/// full identification (Action 2), others the raise-check (Action 1).
+/// Vpass Tuning as a pluggable controller policy: on each maintenance
+/// tick, every block holding valid data is tuned — freshly-refreshed
+/// blocks get the full identification (Action 2), others the raise-check
+/// (Action 1).
 #[derive(Debug, Clone)]
 pub struct VpassTuningPolicy {
     tuner: VpassTuner,
@@ -36,12 +40,24 @@ impl Default for VpassTuningPolicy {
     }
 }
 
-impl MitigationPolicy for VpassTuningPolicy {
+impl ControllerPolicy for VpassTuningPolicy {
     fn name(&self) -> &'static str {
         "vpass-tuning"
     }
 
-    fn daily(&mut self, ctx: &mut PolicyContext<'_>) -> Vec<PolicyAction> {
+    // Tick-only: lets the controller skip per-request hook plumbing.
+    fn observes_requests(&self) -> bool {
+        false
+    }
+
+    fn on_tick(&mut self, ctx: &mut PolicyContext<'_>, elapsed_ns: u64) -> Vec<PolicyAction> {
+        // The tuner's cadence is daily; ticks are day-aligned (see
+        // `rd_ftl::DAY_NS`), so any tick covering at least a day runs one
+        // sweep.
+        if elapsed_ns < DAY_NS {
+            return Vec::new();
+        }
+        let probe_reads_before = self.tuner.stats().probe_reads;
         for &block in ctx.valid_blocks {
             if !self.tuner.is_initialized(block) {
                 // Lazy worst-page discovery for blocks first seen with data.
@@ -60,16 +76,10 @@ impl MitigationPolicy for VpassTuningPolicy {
             // Individual block failures must not stop the daily sweep.
             let _ = result;
         }
+        // Every probe read the sweep issued becomes controller time (tR
+        // each on the engine clock).
+        ctx.charge_probe_reads(self.tuner.stats().probe_reads - probe_reads_before);
         Vec::new()
-    }
-
-    fn after_read(
-        &mut self,
-        _ctx: &mut PolicyContext<'_>,
-        _block: u32,
-        _outcome: &ReadOutcome,
-    ) -> PolicyAction {
-        PolicyAction::None
     }
 }
 
@@ -107,6 +117,22 @@ mod tests {
             ssd.valid_blocks().iter().any(|&b| ssd.chip().block_vpass(b).unwrap() < NOMINAL_VPASS);
         assert!(tuned, "no block was tuned below nominal");
         assert!(ssd.policy().tuner().stats().tunings + ssd.policy().tuner().stats().checks > 0);
+    }
+
+    #[test]
+    fn probe_reads_are_charged_to_the_controller() {
+        let mut ssd = Ssd::with_policy(tuning_ssd_config(), VpassTuningPolicy::default()).unwrap();
+        for b in 0..8 {
+            ssd.chip_mut().cycle_block(b, 4_000).unwrap();
+        }
+        for lpa in 0..32 {
+            ssd.write(lpa).unwrap();
+        }
+        ssd.advance_time(1.0).unwrap();
+        let charged = ssd.stats().policy_probe_reads;
+        let spent = ssd.policy().tuner().stats().probe_reads;
+        assert!(charged > 0, "tuning probes must be charged as controller time");
+        assert_eq!(charged, spent, "every tuner probe read must be charged exactly once");
     }
 
     #[test]

@@ -131,9 +131,56 @@ impl PageEccModel {
         errors <= self.capability
     }
 
+    /// The controller's decode entry point: maps a raw page error count to
+    /// the decode outcome the read pipeline acts on. Both chip fidelity
+    /// tiers report raw error counts, so this one function is the shared
+    /// ECC stage of the host read path.
+    pub fn decode(&self, errors: u64) -> PageDecode {
+        if errors == 0 {
+            PageDecode::Clean
+        } else if errors <= self.capability {
+            PageDecode::Corrected { errors }
+        } else {
+            PageDecode::Failed { errors }
+        }
+    }
+
     /// Capability as an RBER.
     pub fn capability_rber(&self) -> f64 {
         self.capability as f64 / self.page_bits as f64
+    }
+}
+
+/// Outcome of a page-granular ECC decode ([`PageEccModel::decode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageDecode {
+    /// The codeword decoded with zero raw bit errors.
+    Clean,
+    /// The codeword decoded after correcting `errors` raw bit errors.
+    Corrected {
+        /// Raw bit errors corrected.
+        errors: u64,
+    },
+    /// The raw error count exceeds the correction capability; the
+    /// controller must escalate (read-retry, recovery, or report loss).
+    Failed {
+        /// Raw bit errors observed.
+        errors: u64,
+    },
+}
+
+impl PageDecode {
+    /// Whether the decode succeeded (clean or corrected).
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, PageDecode::Failed { .. })
+    }
+
+    /// Raw bit errors the decode saw.
+    pub fn errors(&self) -> u64 {
+        match *self {
+            PageDecode::Clean => 0,
+            PageDecode::Corrected { errors } | PageDecode::Failed { errors } => errors,
+        }
     }
 }
 
@@ -222,6 +269,18 @@ mod tests {
         assert!((8e-4..=2.5e-3).contains(&p15), "operating rber {p15:e}");
         // Lower targets demand lower operating points.
         assert!(m.operating_rber(1e-18) < p15);
+    }
+
+    #[test]
+    fn page_decode_maps_counts_to_outcomes() {
+        let pm = PageEccModel::from_operating_rber(4096, 1.0e-3);
+        assert_eq!(pm.decode(0), PageDecode::Clean);
+        assert_eq!(pm.decode(3), PageDecode::Corrected { errors: 3 });
+        assert_eq!(pm.decode(4), PageDecode::Corrected { errors: 4 });
+        assert_eq!(pm.decode(5), PageDecode::Failed { errors: 5 });
+        assert!(pm.decode(4).is_ok() && !pm.decode(5).is_ok());
+        assert_eq!(pm.decode(5).errors(), 5);
+        assert_eq!(pm.decode(0).errors(), 0);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 
 use std::collections::VecDeque;
 
-use rd_ftl::{Die, FtlError, MitigationPolicy, NoMitigation, ReadFidelity, SsdConfig};
+use rd_ftl::{ControllerPolicy, Die, FtlError, NoMitigation, ReadFidelity, SsdConfig};
 use rd_workloads::{OpKind, TraceOp};
 
 use crate::queue::{CompletionQueue, IoCompletion, IoRequest, ReqKind, SubmissionQueue};
@@ -121,6 +121,7 @@ struct Exec {
     kind: ReqKind,
     lpa: u64,
     service_us: f64,
+    background_us: f64,
     corrected: u64,
     result: Result<(), FtlError>,
     data: Option<Vec<u8>>,
@@ -134,7 +135,7 @@ struct DieExec {
 
 /// The multi-channel/multi-die SSD engine.
 #[derive(Debug)]
-pub struct Engine<P: MitigationPolicy = NoMitigation> {
+pub struct Engine<P: ControllerPolicy = NoMitigation> {
     config: EngineConfig,
     dies: Vec<Die<P>>,
     sq: SubmissionQueue,
@@ -148,6 +149,7 @@ pub struct Engine<P: MitigationPolicy = NoMitigation> {
     // Cumulative accounting.
     die_ops: Vec<u64>,
     die_busy_us: Vec<f64>,
+    die_background_us: Vec<f64>,
     die_digest: Vec<u64>,
     reads: u64,
     writes: u64,
@@ -168,9 +170,9 @@ impl Engine<NoMitigation> {
     }
 }
 
-impl<P: MitigationPolicy + Clone> Engine<P> {
+impl<P: ControllerPolicy + Clone> Engine<P> {
     /// Creates an engine running one clone of `policy` per die — the same
-    /// [`MitigationPolicy`] implementations the single-chip [`rd_ftl::Ssd`]
+    /// [`ControllerPolicy`] implementations the single-chip [`rd_ftl::Ssd`]
     /// accepts plug in unchanged, with per-die state.
     ///
     /// # Errors
@@ -202,6 +204,7 @@ impl<P: MitigationPolicy + Clone> Engine<P> {
             sim_end_us: 0.0,
             die_ops: vec![0; nd],
             die_busy_us: vec![0.0; nd],
+            die_background_us: vec![0.0; nd],
             die_digest: vec![FNV_OFFSET; nd],
             reads: 0,
             writes: 0,
@@ -212,7 +215,7 @@ impl<P: MitigationPolicy + Clone> Engine<P> {
     }
 }
 
-impl<P: MitigationPolicy> Engine<P> {
+impl<P: ControllerPolicy> Engine<P> {
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -291,12 +294,10 @@ impl<P: MitigationPolicy> Engine<P> {
     /// Builds the aggregate statistics snapshot.
     pub fn stats(&self) -> EngineStats {
         let mut per_die = Vec::with_capacity(self.dies.len());
-        let mut uncorrectable = 0u64;
-        let mut corrected = 0u64;
+        let mut totals = rd_ftl::SsdStats::default();
         for (d, die) in self.dies.iter().enumerate() {
             let ssd = die.stats();
-            uncorrectable += ssd.uncorrectable_reads;
-            corrected += ssd.corrected_bits;
+            totals += ssd;
             let blocks = die.config().geometry.blocks;
             let hottest = (0..blocks)
                 .map(|b| die.chip().block_status(b).map(|s| s.reads_since_erase).unwrap_or(0))
@@ -307,6 +308,7 @@ impl<P: MitigationPolicy> Engine<P> {
                 channel: self.config.topology.channel_of(d as u32),
                 ops: self.die_ops[d],
                 busy_us: self.die_busy_us[d],
+                background_us: self.die_background_us[d],
                 hottest_block_reads: hottest,
                 ssd,
             });
@@ -328,8 +330,13 @@ impl<P: MitigationPolicy> Engine<P> {
             writes: self.writes,
             reads_not_written: self.reads_not_written,
             writes_failed: self.writes_failed,
-            uncorrectable_reads: uncorrectable,
-            corrected_bits: corrected,
+            uncorrectable_reads: totals.uncorrectable_reads,
+            recovered_reads: totals.recovered_reads,
+            recovery_steps: totals.recovery_steps,
+            recovery_reads: totals.recovery_reads,
+            uber: totals.uber(),
+            corrected_bits: totals.corrected_bits,
+            background_us: self.die_background_us.iter().sum(),
             makespan_us: self.sim_end_us,
             latency_p50_us: percentile(&sorted, 0.50),
             latency_p99_us: percentile(&sorted, 0.99),
@@ -340,7 +347,7 @@ impl<P: MitigationPolicy> Engine<P> {
     }
 }
 
-impl<P: MitigationPolicy + Send> Engine<P> {
+impl<P: ControllerPolicy + Send> Engine<P> {
     /// Processes the entire submission queue as one batch: flash phase
     /// (parallel over dies, `threads` workers; 0 = one per available core)
     /// then timing phase. Returns the number of requests completed; the
@@ -410,6 +417,7 @@ impl<P: MitigationPolicy + Send> Engine<P> {
             }
             self.die_ops[d] += 1;
             self.die_busy_us[d] += item.service_us;
+            self.die_background_us[d] += item.background_us;
             self.latencies.push(complete - submit);
             match item.kind {
                 ReqKind::Read => {
@@ -484,7 +492,7 @@ fn resolve_threads(requested: usize, dies: usize) -> usize {
 /// Flash phase: each die executes its work list in order. With more than one
 /// worker the die set is chunked over scoped threads; dies share no state,
 /// so any chunking yields identical results.
-fn execute_dies<P: MitigationPolicy + Send>(
+fn execute_dies<P: ControllerPolicy + Send>(
     dies: &mut [Die<P>],
     work: &[Vec<WorkItem>],
     timing: &Timing,
@@ -523,7 +531,7 @@ fn execute_dies<P: MitigationPolicy + Send>(
 /// Executes one die's work list, measuring per-request service time from the
 /// timing constants plus the controller-counter delta (background GC/refresh
 /// relocations and erases the request triggered).
-fn execute_die<P: MitigationPolicy>(
+fn execute_die<P: ControllerPolicy>(
     die: &mut Die<P>,
     work: &[WorkItem],
     timing: &Timing,
@@ -554,12 +562,14 @@ fn execute_die<P: MitigationPolicy>(
             (ReqKind::Write, Ok(())) => timing.write_service_us(),
             _ => timing.xfer_us,
         };
-        let service_us = base + timing.background_us(&before, &after);
+        let background_us = timing.background_us(&before, &after);
+        let service_us = base + background_us;
         execs.push(Exec {
             id: item.id,
             kind: item.kind,
             lpa: item.lpa,
             service_us,
+            background_us,
             corrected,
             result,
             data,

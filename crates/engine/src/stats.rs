@@ -14,6 +14,10 @@ pub struct DieStats {
     pub ops: u64,
     /// Total simulated busy time of the die (µs), including background work.
     pub busy_us: f64,
+    /// Simulated time the die spent on background jobs alone (µs):
+    /// GC/refresh/reclaim relocations, erases, recovery re-reads, and
+    /// policy probe reads — the relocation-cost share of `busy_us`.
+    pub background_us: f64,
     /// Highest `reads_since_erase` over the die's blocks — the die's current
     /// worst-case read-disturb accumulation point.
     pub hottest_block_reads: u64,
@@ -43,10 +47,25 @@ pub struct EngineStats {
     /// Writes that completed with an error (out of space / out of range) —
     /// they consumed schedule time but stored nothing.
     pub writes_failed: u64,
-    /// Reads whose raw errors exceeded the ECC capability.
+    /// Reads that stayed uncorrectable after the full recovery ladder
+    /// (data-loss events).
     pub uncorrectable_reads: u64,
+    /// Reads whose initial decode failed but were salvaged by the
+    /// recovery ladder.
+    pub recovered_reads: u64,
+    /// Recovery-ladder steps engaged across all dies.
+    pub recovery_steps: u64,
+    /// Flash re-reads spent inside recovery ladders (each charged tR).
+    pub recovery_reads: u64,
+    /// Uncorrectable bit error rate across all dies: whole-page loss
+    /// events per host page read (page size cancels out of bits-lost over
+    /// bits-read).
+    pub uber: f64,
     /// Raw bit errors corrected across all dies (host reads + relocations).
     pub corrected_bits: u64,
+    /// Simulated background-job time across all dies (µs): relocations,
+    /// erases, recovery re-reads, probe reads.
+    pub background_us: f64,
     /// Simulated time at which the last request completed (µs).
     pub makespan_us: f64,
     /// Median end-to-end request latency (µs).
@@ -120,7 +139,12 @@ mod tests {
             reads_not_written: 5,
             writes_failed: 0,
             uncorrectable_reads: 0,
+            recovered_reads: 0,
+            recovery_steps: 0,
+            recovery_reads: 0,
+            uber: 0.0,
             corrected_bits: 42,
+            background_us: 0.0,
             makespan_us: 500_000.0,
             latency_p50_us: 75.0,
             latency_p99_us: 300.0,
@@ -134,8 +158,24 @@ mod tests {
         let a = SsdStats { host_reads: 3, erases: 1, ..Default::default() };
         let b = SsdStats { host_reads: 4, corrected_bits: 9, ..Default::default() };
         s.per_die = vec![
-            DieStats { die: 0, channel: 0, ops: 3, busy_us: 1.0, hottest_block_reads: 0, ssd: a },
-            DieStats { die: 1, channel: 0, ops: 4, busy_us: 2.0, hottest_block_reads: 7, ssd: b },
+            DieStats {
+                die: 0,
+                channel: 0,
+                ops: 3,
+                busy_us: 1.0,
+                background_us: 0.0,
+                hottest_block_reads: 0,
+                ssd: a,
+            },
+            DieStats {
+                die: 1,
+                channel: 0,
+                ops: 4,
+                busy_us: 2.0,
+                background_us: 0.5,
+                hottest_block_reads: 7,
+                ssd: b,
+            },
         ];
         let t = s.totals();
         assert_eq!(t.host_reads, 7);

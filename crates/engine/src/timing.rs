@@ -42,13 +42,18 @@ impl Timing {
     /// Extra die-busy time implied by background work the FTL performed
     /// while serving one request, reconstructed from the controller-counter
     /// delta: every relocation write is a read + program pair, every erase
-    /// a tBERS.
+    /// a tBERS, and every recovery-ladder re-read or policy probe read a
+    /// tR — so retry escalations and tuning sweeps cost real engine time.
     pub fn background_us(&self, before: &SsdStats, after: &SsdStats) -> f64 {
         let relocations = (after.gc_writes - before.gc_writes)
             + (after.refresh_writes - before.refresh_writes)
             + (after.reclaim_writes - before.reclaim_writes);
         let erases = after.erases - before.erases;
-        relocations as f64 * (self.read_us + self.program_us) + erases as f64 * self.erase_us
+        let retry_reads = (after.recovery_reads - before.recovery_reads)
+            + (after.policy_probe_reads - before.policy_probe_reads);
+        relocations as f64 * (self.read_us + self.program_us)
+            + erases as f64 * self.erase_us
+            + retry_reads as f64 * self.read_us
     }
 
     /// Validates the constants.
@@ -96,6 +101,15 @@ mod tests {
         after.gc_writes = 3;
         after.erases = 1;
         let expected = 3.0 * (t.read_us + t.program_us) + t.erase_us;
+        assert!((t.background_us(&before, &after) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn background_charge_counts_recovery_and_probe_reads() {
+        let t = Timing::mlc();
+        let before = SsdStats::default();
+        let after = SsdStats { recovery_reads: 4, policy_probe_reads: 6, ..Default::default() };
+        let expected = 10.0 * t.read_us;
         assert!((t.background_us(&before, &after) - expected).abs() < 1e-9);
     }
 

@@ -38,7 +38,8 @@ use crate::state::CellState;
 use crate::BitErrorStats;
 
 /// Per-bit error floor from programming-distribution tail overlap at the
-/// default read references (randomly programmed data).
+/// read references, each moved by `shift` normalized volts (randomly
+/// programmed data; `shift == 0` is the default read path).
 ///
 /// The closed-form [`AnalyticModel`] is calibrated to the paper's measured
 /// curves from 2K P/E upward, where misprogram noise dominates; on a fresh
@@ -46,13 +47,16 @@ use crate::BitErrorStats;
 /// Gaussian tails crossing the read references. Each of the three state
 /// boundaries contributes its two one-sided tails; states are equiprobable
 /// (1/4) under random data and an adjacent-state misread flips exactly one
-/// of the cell's two bits (Gray coding), hence the 1/8 weight.
-pub(crate) fn gaussian_tail_floor(params: &ChipParams, pe_cycles: u64) -> f64 {
+/// of the cell's two bits (Gray coding), hence the 1/8 weight. A nonzero
+/// `shift` is the floor a read-retry re-read pays: away from the factory
+/// references, the tails of *undisturbed* states cross the shifted
+/// boundaries and misclassify.
+pub(crate) fn gaussian_tail_floor_shifted(params: &ChipParams, pe_cycles: u64, shift: f64) -> f64 {
     let refs = &params.refs;
     let boundaries = [
-        (refs.va, CellState::Er, CellState::P1),
-        (refs.vb, CellState::P1, CellState::P2),
-        (refs.vc, CellState::P2, CellState::P3),
+        (refs.va + shift, CellState::Er, CellState::P1),
+        (refs.vb + shift, CellState::P1, CellState::P2),
+        (refs.vc + shift, CellState::P2, CellState::P3),
     ];
     let mut per_cell = 0.0;
     for (vref, lo, hi) in boundaries {
@@ -63,6 +67,19 @@ pub(crate) fn gaussian_tail_floor(params: &ChipParams, pe_cycles: u64) -> f64 {
     }
     per_cell / 8.0
 }
+
+/// E-folding scale (normalized volts) of a retry shift's effect on the
+/// disturb/retention error components. Read disturb lifts ER/P1 upward, so
+/// raising the references by a state-sigma-scale shift re-centres them past
+/// the drifted cells (errors decay); retention pulls P2/P3 downward, so the
+/// same raise moves the boundaries *into* the leaked cells (errors grow).
+/// The scale matches the default state sigma (≈10 normalized volts).
+const RETRY_SHIFT_DECAY: f64 = 10.0;
+
+/// Cap on the shift amplification factors: beyond a few decay lengths the
+/// shifted-floor term dominates anyway, and an unbounded exponential would
+/// just overflow the sampled error count.
+const RETRY_SHIFT_GAIN_CAP: f64 = 32.0;
 
 /// One flash block of the page-analytic chip model.
 #[derive(Debug, Clone)]
@@ -189,13 +206,32 @@ impl AnalyticBlock {
     /// Per-bit RBER of one wordline, excluding pass-through errors (those
     /// are realized as blocked bitlines at read time).
     fn rber_wordline(&self, params: &ChipParams, model: &AnalyticModel, wordline: u32) -> f64 {
+        self.rber_wordline_shifted(params, model, wordline, 0.0)
+    }
+
+    /// [`Self::rber_wordline`] at a uniform read-reference shift (the
+    /// read-retry model): the misclassification floor follows the shifted
+    /// references exactly, the disturb component decays as a positive shift
+    /// tracks the up-drifted ER/P1 cells, and the retention component grows
+    /// by the mirror factor (the shifted boundaries cut into the
+    /// down-leaked P2/P3 cells). At `shift == 0` this is bit-identical to
+    /// the default read path.
+    fn rber_wordline_shifted(
+        &self,
+        params: &ChipParams,
+        model: &AnalyticModel,
+        wordline: u32,
+        shift: f64,
+    ) -> f64 {
         let lin = self.disturb_lin(model, wordline);
         let p = model.params();
         let rd = p.rd_sat * (lin / p.rd_sat).ln_1p();
-        gaussian_tail_floor(params, self.pe_cycles)
+        let rd_factor = (-shift / RETRY_SHIFT_DECAY).exp().min(RETRY_SHIFT_GAIN_CAP);
+        let ret_factor = (shift / RETRY_SHIFT_DECAY).exp().min(RETRY_SHIFT_GAIN_CAP);
+        gaussian_tail_floor_shifted(params, self.pe_cycles, shift)
             + model.rber_pe(self.pe_cycles)
-            + model.rber_retention(self.pe_cycles, self.age_days)
-            + rd
+            + model.rber_retention(self.pe_cycles, self.age_days) * ret_factor
+            + rd * rd_factor
     }
 
     /// Probability that a bitline is blocked (pass-through failure) at the
@@ -289,6 +325,24 @@ impl AnalyticBlock {
         page: u32,
         disturb: bool,
     ) -> Result<ReadOutcome, FlashError> {
+        self.read_page_shifted(params, model, rng, page, 0.0, disturb)
+    }
+
+    /// [`Self::read_page`] with every read reference moved by `shift` — the
+    /// read-retry sample the recovery ladder consumes. Errors are drawn
+    /// around [`Self::rber_wordline_shifted`], so a positive shift on a
+    /// disturb-dominated wordline genuinely recovers errors while paying
+    /// the shifted misclassification floor, exactly as the cell-exact
+    /// sweep does in aggregate.
+    pub(crate) fn read_page_shifted(
+        &mut self,
+        params: &ChipParams,
+        model: &AnalyticModel,
+        rng: &mut StdRng,
+        page: u32,
+        shift: f64,
+        disturb: bool,
+    ) -> Result<ReadOutcome, FlashError> {
         if page >= self.wordlines * 2 {
             return Err(FlashError::PageOutOfRange { page, pages: self.wordlines * 2 });
         }
@@ -304,7 +358,7 @@ impl AnalyticBlock {
         let mut data =
             if programmed { self.page_data[page as usize].clone() } else { vec![0xFF; nbits / 8] };
 
-        let p_err = self.rber_wordline(params, model, wl);
+        let p_err = self.rber_wordline_shifted(params, model, wl, shift);
         let flips = sample_binomial(rng, self.bitlines as u64, p_err);
         for_distinct_positions(rng, self.bitlines, flips, |bl| {
             let i = bl as usize;

@@ -337,13 +337,15 @@ impl Chip {
     /// (the mechanism the paper uses to measure Vth distributions and to
     /// mimic Vpass changes on real chips, §2).
     ///
-    /// On a page-analytic chip only `shift == 0` is served.
+    /// Served at both fidelity tiers: the cell-exact chip classifies every
+    /// cell against the shifted references; the page-analytic chip samples
+    /// the retry around its closed-form shifted-RBER model (disturb errors
+    /// decay with a positive shift, retention errors grow, and the
+    /// misclassification floor follows the moved references).
     ///
     /// # Errors
     ///
-    /// Fails if the address is out of range, or with
-    /// [`FlashError::FidelityUnsupported`] for a shifted retry on a
-    /// page-analytic chip.
+    /// Fails if the address is out of range.
     pub fn read_retry(
         &mut self,
         block: u32,
@@ -351,17 +353,14 @@ impl Chip {
         shift: f64,
     ) -> Result<RetryReadOutcome, FlashError> {
         self.geometry.check_block(block)?;
-        let outcome = match &mut self.storage {
+        let Self { params, storage, rng, .. } = self;
+        let outcome = match storage {
             Storage::Exact(blocks) => {
-                let params = self.params.clone();
+                let params = params.clone();
                 blocks[block as usize].read_page(&params, page, shift, true)?
             }
-            Storage::Analytic { .. } => {
-                if shift == 0.0 {
-                    self.read_page(block, page)?
-                } else {
-                    return Err(FlashError::FidelityUnsupported { op: "shifted read-retry" });
-                }
+            Storage::Analytic { model, blocks } => {
+                blocks[block as usize].read_page_shifted(params, model, rng, page, shift, true)?
             }
         };
         Ok(RetryReadOutcome { shift, outcome })
@@ -897,13 +896,29 @@ mod tests {
             Err(FlashError::FidelityUnsupported { .. })
         ));
         assert!(matches!(chip.block(0), Err(FlashError::FidelityUnsupported { .. })));
-        assert!(matches!(
-            chip.read_retry(0, 0, -10.0),
-            Err(FlashError::FidelityUnsupported { .. })
-        ));
         // Default refs and zero shift are served.
         let refs = chip.params().refs;
         assert!(chip.read_page_with_refs(0, 0, &refs).is_ok());
         assert!(chip.read_retry(0, 0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn analytic_chip_serves_shifted_retry_reads() {
+        let mut chip = analytic_chip();
+        chip.cycle_block(0, 8_000).unwrap();
+        chip.program_block_random(0, 2).unwrap();
+        chip.apply_read_disturbs(0, 800_000).unwrap();
+        // Average several sampled reads per shift: a modest positive shift
+        // must recover disturb errors, a negative one must add errors.
+        let mean_errors = |chip: &mut Chip, shift: f64| -> f64 {
+            (0..24).map(|_| chip.read_retry(0, 3, shift).unwrap().outcome.stats.errors).sum::<u64>()
+                as f64
+                / 24.0
+        };
+        let base = mean_errors(&mut chip, 0.0);
+        let raised = mean_errors(&mut chip, 8.0);
+        let lowered = mean_errors(&mut chip, -12.0);
+        assert!(raised < base, "positive retry shift must recover: {base} -> {raised}");
+        assert!(lowered > base, "negative retry shift must hurt: {base} -> {lowered}");
     }
 }

@@ -1,35 +1,59 @@
 //! A single flash die with its own FTL state: chip, mapping table, free
-//! list, garbage collection, refresh, and policy orchestration.
+//! list, garbage collection, refresh, and controller-policy orchestration.
 //!
 //! [`Die`] is the unit of reuse between the single-chip [`crate::Ssd`]
 //! (which wraps exactly one die) and the multi-channel/multi-die engine
 //! (`rd-engine`), which holds one `Die` per physical die and drives them in
 //! parallel. All controller semantics — out-of-place writes, greedy GC,
-//! wear-leveling allocation, remapping-based refresh, mitigation-policy
-//! hooks — live here.
+//! wear-leveling allocation, remapping-based refresh, the ECC decode →
+//! recovery-ladder read pipeline, event-driven policy hooks — live here.
+//!
+//! # The read pipeline
+//!
+//! Every host read runs
+//!
+//! ```text
+//! raw read ──► ECC decode ──► Clean / Corrected
+//!                   │ (errors > capability)
+//!                   ▼
+//!            RecoveryLadder: retry-sweep ──► disturb-reread ──► …
+//!                   │ success                      │ exhausted
+//!                   ▼                              ▼
+//!            Recovered{steps}                Uncorrectable
+//! ```
+//!
+//! and returns its [`ReadResolution`] in [`HostRead`]; an exhausted ladder
+//! surfaces as [`FtlError::Uncorrectable`] (the paper's data-loss event).
+//! Ladder re-reads and policy probe reads are counted in [`SsdStats`] so
+//! the engine can charge them to its discrete-event clock.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use rd_ecc::{PageDecode, PageEccModel};
 use rd_flash::{bits, Chip};
 
 use crate::config::SsdConfig;
 use crate::error::FtlError;
 use crate::mapping::{PageMap, Ppa};
-use crate::policy::{MitigationPolicy, NoMitigation, PolicyAction, PolicyContext};
+use crate::policy::{ControllerPolicy, NoMitigation, PolicyAction, PolicyContext, DAY_NS};
+use crate::recovery::{ReadResolution, RecoveryLadder};
 use crate::stats::SsdStats;
 
 /// Result of a host read.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HostRead {
-    /// Page data after a successful ECC decode.
+    /// Page data after a successful ECC decode (or ladder recovery).
     pub data: Vec<u8>,
-    /// Raw bit errors ECC corrected for this read.
+    /// Raw bit errors ECC corrected for the read that decoded (the initial
+    /// read, or the recovery re-read that succeeded).
     pub corrected_errors: u64,
-    /// Bitlines blocked by pass-through failures during the read.
+    /// Bitlines blocked by pass-through failures during the initial read.
     pub blocked_bitlines: u64,
     /// Physical location served.
     pub ppa: Ppa,
+    /// How the controller pipeline resolved the read.
+    pub resolution: ReadResolution,
 }
 
 /// Why a relocation write happened (statistics bucket).
@@ -43,11 +67,13 @@ enum WriteClass {
 
 /// One flash die and the per-die controller state that manages it.
 #[derive(Debug)]
-pub struct Die<P: MitigationPolicy = NoMitigation> {
+pub struct Die<P: ControllerPolicy = NoMitigation> {
     config: SsdConfig,
     chip: Chip,
     map: PageMap,
     policy: P,
+    ecc: PageEccModel,
+    ladder: RecoveryLadder,
     free: Vec<u32>,
     active: Option<(u32, u32)>,
     in_gc: bool,
@@ -60,7 +86,8 @@ pub struct Die<P: MitigationPolicy = NoMitigation> {
 }
 
 impl Die<NoMitigation> {
-    /// Creates a die with the baseline (no-mitigation) policy.
+    /// Creates a die with the baseline (no-mitigation) policy and the
+    /// standard recovery ladder.
     ///
     /// # Errors
     ///
@@ -70,8 +97,9 @@ impl Die<NoMitigation> {
     }
 }
 
-impl<P: MitigationPolicy> Die<P> {
-    /// Creates a die with an explicit mitigation policy.
+impl<P: ControllerPolicy> Die<P> {
+    /// Creates a die with an explicit controller policy and the standard
+    /// recovery ladder ([`RecoveryLadder::standard`]).
     ///
     /// # Errors
     ///
@@ -90,11 +118,22 @@ impl<P: MitigationPolicy> Die<P> {
         );
         let free: Vec<u32> = (0..config.geometry.blocks).collect();
         let data_rng = StdRng::seed_from_u64(config.seed ^ 0x5EED_DA7A);
+        let ecc = PageEccModel::from_operating_rber(
+            config.geometry.bits_per_page(),
+            config.ecc_capability_rber,
+        );
+        debug_assert_eq!(
+            ecc.capability(),
+            config.page_capability(),
+            "ECC model and config capability formulas diverged"
+        );
         Ok(Self {
             config,
             chip,
             map,
             policy,
+            ecc,
+            ladder: RecoveryLadder::standard(),
             free,
             active: None,
             in_gc: false,
@@ -136,9 +175,25 @@ impl<P: MitigationPolicy> Die<P> {
         &self.map
     }
 
-    /// The mitigation policy.
+    /// The controller policy.
     pub fn policy(&self) -> &P {
         &self.policy
+    }
+
+    /// The per-page ECC model the read pipeline decodes through.
+    pub fn ecc(&self) -> &PageEccModel {
+        &self.ecc
+    }
+
+    /// The recovery ladder (read-only).
+    pub fn recovery_ladder(&self) -> &RecoveryLadder {
+        &self.ladder
+    }
+
+    /// Replaces the recovery ladder (e.g. with `rd-core`'s ROR/RFR steps,
+    /// or [`RecoveryLadder::disabled`] for the pre-pipeline behaviour).
+    pub fn set_recovery_ladder(&mut self, ladder: RecoveryLadder) {
+        self.ladder = ladder;
     }
 
     /// Blocks currently holding valid data.
@@ -147,7 +202,8 @@ impl<P: MitigationPolicy> Die<P> {
     }
 
     /// Writes a logical page (host write). Fresh pseudo-random content is
-    /// generated per write, as the paper's characterization does.
+    /// generated per write, as the paper's characterization does. Fires the
+    /// policy's [`ControllerPolicy::on_program`] hook.
     ///
     /// # Errors
     ///
@@ -155,50 +211,75 @@ impl<P: MitigationPolicy> Die<P> {
     pub fn write(&mut self, lpa: u64) -> Result<(), FtlError> {
         self.check_lpa(lpa)?;
         let data = bits::random(&mut self.data_rng, self.config.geometry.bits_per_page());
-        self.write_data(lpa, &data, WriteClass::Host)
+        let ppa = self.write_data(lpa, &data, WriteClass::Host)?;
+        if !self.policy.observes_requests() {
+            return Ok(());
+        }
+        self.run_policy_hook(|policy, ctx| policy.on_program(ctx, ppa.block))
     }
 
-    /// Reads a logical page through ECC.
+    /// Reads a logical page through the controller pipeline: ECC decode,
+    /// then — on uncorrectable pages — escalation through the recovery
+    /// ladder (read-retry, disturb-aware re-read). Fires the policy's
+    /// [`ControllerPolicy::on_read`] hook.
     ///
     /// # Errors
     ///
     /// * [`FtlError::NotWritten`] if the page was never written;
-    /// * [`FtlError::Uncorrectable`] if raw errors exceed the ECC capability
-    ///   (counted as a data-loss event, the paper's end-of-life criterion).
+    /// * [`FtlError::Uncorrectable`] if the raw errors exceed the ECC
+    ///   capability *and* every recovery-ladder rung fails (counted as a
+    ///   data-loss event, the paper's end-of-life criterion).
     pub fn read(&mut self, lpa: u64) -> Result<HostRead, FtlError> {
         self.check_lpa(lpa)?;
         let ppa = self.map.lookup(lpa).ok_or(FtlError::NotWritten { lpa })?;
         let outcome = self.chip.read_page(ppa.block, ppa.page)?;
         self.stats.host_reads += 1;
-        let capability = self.config.page_capability();
-        if outcome.stats.errors > capability {
-            self.stats.uncorrectable_reads += 1;
-            return Err(FtlError::Uncorrectable { lpa, errors: outcome.stats.errors, capability });
-        }
-        self.stats.corrected_bits += outcome.stats.errors;
-        // ECC corrected the read: return the original (intended) data.
-        let data = self.chip.intended_page_bits(ppa.block, ppa.page)?;
-        let action = {
-            let valid = self.valid_blocks();
-            let mut ctx = PolicyContext {
-                chip: &mut self.chip,
-                valid_blocks: &valid,
-                refresh_interval_days: self.config.refresh_interval_days,
-                page_capability: capability,
-            };
-            self.policy.after_read(&mut ctx, ppa.block, &outcome)
+        let capability = self.ecc.capability();
+        let (resolution, corrected_errors) = match self.ecc.decode(outcome.stats.errors) {
+            PageDecode::Clean => (ReadResolution::Clean, 0),
+            PageDecode::Corrected { errors } => {
+                self.stats.corrected_bits += errors;
+                (ReadResolution::Corrected { errors }, errors)
+            }
+            PageDecode::Failed { errors } => {
+                let ladder =
+                    self.ladder.recover(&mut self.chip, ppa.block, ppa.page, capability)?;
+                self.stats.recovery_steps += ladder.steps.len() as u64;
+                self.stats.recovery_reads += ladder.reads_spent;
+                match ladder.recovered_errors() {
+                    Some(recovered) => {
+                        self.stats.recovered_reads += 1;
+                        self.stats.corrected_bits += recovered;
+                        (ReadResolution::Recovered { steps: ladder.steps }, recovered)
+                    }
+                    None => (ReadResolution::Uncorrectable { errors }, 0),
+                }
+            }
         };
-        self.apply_action(action)?;
+        // An exhausted ladder surfaces as the typed error (the paper's
+        // data-loss event); the resolution variant is what pipeline-level
+        // consumers and the ladder tests reason about.
+        if let ReadResolution::Uncorrectable { errors } = resolution {
+            self.stats.uncorrectable_reads += 1;
+            return Err(FtlError::Uncorrectable { lpa, errors, capability });
+        }
+        // ECC corrected the read (directly or via a recovered re-read):
+        // return the original (intended) data.
+        let data = self.chip.intended_page_bits(ppa.block, ppa.page)?;
+        if self.policy.observes_requests() {
+            self.run_policy_hook(|policy, ctx| policy.on_read(ctx, ppa.block, &outcome))?;
+        }
         Ok(HostRead {
             data,
-            corrected_errors: outcome.stats.errors,
+            corrected_errors,
             blocked_bitlines: outcome.blocked_bitlines,
             ppa,
+            resolution,
         })
     }
 
     /// Advances simulated time, running daily maintenance (refresh scans and
-    /// the policy's daily hook) at each day boundary.
+    /// the policy's tick hook) at each day boundary.
     ///
     /// # Errors
     ///
@@ -218,6 +299,30 @@ impl<P: MitigationPolicy> Die<P> {
         Ok(())
     }
 
+    /// Runs one policy hook: builds the context, collects the action batch
+    /// and probe-read charge, then executes the actions as background jobs.
+    fn run_policy_hook<F>(&mut self, hook: F) -> Result<(), FtlError>
+    where
+        F: FnOnce(&mut P, &mut PolicyContext<'_>) -> Vec<PolicyAction>,
+    {
+        let (actions, probe_reads) = {
+            let valid = self.valid_blocks();
+            let mut ctx = PolicyContext::new(
+                &mut self.chip,
+                &valid,
+                self.config.refresh_interval_days,
+                self.ecc.capability(),
+            );
+            let actions = hook(&mut self.policy, &mut ctx);
+            (actions, ctx.probe_reads())
+        };
+        self.stats.policy_probe_reads += probe_reads;
+        for action in actions {
+            self.apply_action(action)?;
+        }
+        Ok(())
+    }
+
     fn daily_maintenance(&mut self) -> Result<(), FtlError> {
         // Remapping-based refresh of blocks past the interval.
         let interval = self.config.refresh_interval_days;
@@ -230,26 +335,12 @@ impl<P: MitigationPolicy> Die<P> {
             self.relocate_block(block, WriteClass::Refresh)?;
             self.stats.refreshes += 1;
         }
-        // Policy daily hook.
-        let actions = {
-            let valid = self.valid_blocks();
-            let mut ctx = PolicyContext {
-                chip: &mut self.chip,
-                valid_blocks: &valid,
-                refresh_interval_days: interval,
-                page_capability: self.config.page_capability(),
-            };
-            self.policy.daily(&mut ctx)
-        };
-        for action in actions {
-            self.apply_action(action)?;
-        }
-        Ok(())
+        // Policy tick (one day of simulated time per maintenance tick).
+        self.run_policy_hook(|policy, ctx| policy.on_tick(ctx, DAY_NS))
     }
 
     fn apply_action(&mut self, action: PolicyAction) -> Result<(), FtlError> {
         match action {
-            PolicyAction::None => Ok(()),
             PolicyAction::ReclaimBlock(block) => {
                 self.relocate_block(block, WriteClass::Reclaim)?;
                 self.stats.reclaims += 1;
@@ -266,7 +357,7 @@ impl<P: MitigationPolicy> Die<P> {
         }
     }
 
-    fn write_data(&mut self, lpa: u64, data: &[u8], class: WriteClass) -> Result<(), FtlError> {
+    fn write_data(&mut self, lpa: u64, data: &[u8], class: WriteClass) -> Result<Ppa, FtlError> {
         let ppa = self.alloc_page()?;
         self.chip.program_page(ppa.block, ppa.page, data)?;
         self.map.remap(lpa, ppa);
@@ -276,7 +367,7 @@ impl<P: MitigationPolicy> Die<P> {
             WriteClass::Refresh => self.stats.refresh_writes += 1,
             WriteClass::Reclaim => self.stats.reclaim_writes += 1,
         }
-        Ok(())
+        Ok(ppa)
     }
 
     fn alloc_page(&mut self) -> Result<Ppa, FtlError> {
@@ -343,8 +434,10 @@ impl<P: MitigationPolicy> Die<P> {
     }
 
     /// Moves all valid data out of `block`, erases it, and returns it to the
-    /// free pool. Reads go through ECC: correctable pages are relocated
-    /// clean; uncorrectable pages are copied raw (permanent loss, counted).
+    /// free pool. Reads go through the same pipeline as host reads:
+    /// correctable pages are relocated clean, uncorrectable pages escalate
+    /// through the recovery ladder first, and only pages the ladder cannot
+    /// save are copied raw (permanent loss, counted).
     fn relocate_block(&mut self, block: u32, class: WriteClass) -> Result<(), FtlError> {
         // Retire the active block if it is the one being evacuated, so the
         // relocation writes cannot land back inside it.
@@ -359,15 +452,28 @@ impl<P: MitigationPolicy> Die<P> {
 
     fn relocate_block_inner(&mut self, block: u32, class: WriteClass) -> Result<(), FtlError> {
         let victims = self.map.valid_pages(block);
-        let capability = self.config.page_capability();
+        let capability = self.ecc.capability();
         for (page, lpa) in victims {
             let outcome = self.chip.read_page(block, page)?;
             let data = if outcome.stats.errors <= capability {
                 self.stats.corrected_bits += outcome.stats.errors;
                 self.chip.intended_page_bits(block, page)?
             } else {
-                self.stats.data_loss_relocations += 1;
-                outcome.data
+                // Same escalation as the host read path: a page the ladder
+                // can recover must not be corrupted by its own relocation.
+                let ladder = self.ladder.recover(&mut self.chip, block, page, capability)?;
+                self.stats.recovery_steps += ladder.steps.len() as u64;
+                self.stats.recovery_reads += ladder.reads_spent;
+                match ladder.recovered_errors() {
+                    Some(recovered) => {
+                        self.stats.corrected_bits += recovered;
+                        self.chip.intended_page_bits(block, page)?
+                    }
+                    None => {
+                        self.stats.data_loss_relocations += 1;
+                        outcome.data
+                    }
+                }
             };
             self.write_data(lpa, &data, class)?;
         }
@@ -389,8 +495,16 @@ mod tests {
         die.write(0).unwrap();
         let r = die.read(0).unwrap();
         assert_eq!(r.corrected_errors, 0);
+        assert_eq!(r.resolution, ReadResolution::Clean);
         assert_eq!(die.stats().host_writes, 1);
         assert!(matches!(die.read(5), Err(FtlError::NotWritten { lpa: 5 })));
+    }
+
+    #[test]
+    fn ecc_model_matches_config_capability() {
+        let die = Die::new(SsdConfig::small_test()).unwrap();
+        assert_eq!(die.ecc().capability(), die.config().page_capability());
+        assert_eq!(die.recovery_ladder().len(), 2);
     }
 
     #[test]
@@ -456,5 +570,60 @@ mod tests {
         die.advance_time(8.0).unwrap();
         ssd.advance_time(8.0).unwrap();
         assert_eq!(die.stats(), ssd.stats());
+    }
+
+    #[test]
+    fn uncorrectable_read_escalates_through_ladder() {
+        // Wear + heavy disturb pushes pages past the small test capability;
+        // the ladder's retry sweep recovers them and the stats record the
+        // escalation.
+        let mut die = Die::new(SsdConfig::small_test()).unwrap();
+        die.write(0).unwrap();
+        let block = die.read(0).unwrap().ppa.block;
+        die.chip_mut().apply_read_disturbs(block, 3_000_000).unwrap();
+        // Inject wear after programming by aging: disturb only grows errors
+        // meaningfully on worn cells, so also advance retention.
+        let mut recovered = 0;
+        let mut uncorrectable = 0;
+        for _ in 0..20 {
+            match die.read(0) {
+                Ok(r) => {
+                    if let ReadResolution::Recovered { steps } = &r.resolution {
+                        assert!(!steps.is_empty());
+                        recovered += 1;
+                    }
+                }
+                Err(FtlError::Uncorrectable { .. }) => uncorrectable += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        let stats = die.stats();
+        assert_eq!(stats.recovered_reads, recovered);
+        assert_eq!(stats.uncorrectable_reads, uncorrectable);
+        if recovered > 0 {
+            assert!(stats.recovery_reads > 0, "recovered reads must cost retry reads");
+            assert!(stats.recovery_steps > 0);
+        }
+    }
+
+    #[test]
+    fn disabled_ladder_restores_immediate_loss() {
+        let mut a = Die::new(SsdConfig::small_test()).unwrap();
+        let mut b = Die::new(SsdConfig::small_test()).unwrap();
+        b.set_recovery_ladder(RecoveryLadder::disabled());
+        a.write(0).unwrap();
+        b.write(0).unwrap();
+        let block = a.read(0).unwrap().ppa.block;
+        a.chip_mut().apply_read_disturbs(block, 3_000_000).unwrap();
+        b.chip_mut().apply_read_disturbs(block, 3_000_000).unwrap();
+        for _ in 0..20 {
+            let _ = a.read(0);
+            let _ = b.read(0);
+        }
+        // The disabled ladder can only do worse (or equal): every decode
+        // failure is immediate loss, and no retry reads are spent.
+        assert!(b.stats().uncorrectable_reads >= a.stats().uncorrectable_reads);
+        assert_eq!(b.stats().recovery_reads, 0);
+        assert_eq!(b.stats().recovered_reads, 0);
     }
 }

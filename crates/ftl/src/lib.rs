@@ -10,8 +10,15 @@
 //!   (§3: "the refresh interval");
 //! * the **read reclaim** baseline mitigation — remap a block's data after a
 //!   fixed read count (paper §5: Yaffs-style, \[29\]);
-//! * a [`MitigationPolicy`] hook through which `rd-core` plugs Vpass Tuning
-//!   into the same controller.
+//! * the **controller read pipeline** — every host read runs through the
+//!   ECC decode ([`rd_ecc::PageEccModel`]) and, on uncorrectable pages,
+//!   escalates through a pluggable [`RecoveryLadder`] (read-retry sweep,
+//!   RFR-style disturb-aware re-read) before declaring loss, returning a
+//!   typed [`ReadResolution`];
+//! * an event-driven [`ControllerPolicy`] hook (`on_read` / `on_program` /
+//!   `on_tick`) through which `rd-core` plugs Vpass Tuning into the same
+//!   controller; policy actions become background jobs whose flash work is
+//!   counted and charged to the engine clock.
 //!
 //! The per-die controller state lives in [`Die`]; [`Ssd`] wraps exactly one
 //! die (the historical single-chip API) and the multi-die engine
@@ -38,6 +45,7 @@ pub mod die;
 pub mod error;
 pub mod mapping;
 pub mod policy;
+pub mod recovery;
 pub mod ssd;
 pub mod stats;
 
@@ -47,7 +55,13 @@ pub use die::{Die, HostRead};
 // EngineConfig, and rd-engine reaches it through this crate.
 pub use error::FtlError;
 pub use mapping::{PageMap, Ppa};
-pub use policy::{MitigationPolicy, NoMitigation, PolicyAction, PolicyContext, ReadReclaim};
+pub use policy::{
+    ControllerPolicy, NoMitigation, PolicyAction, PolicyContext, ReadReclaim, DAY_NS,
+};
 pub use rd_flash::ReadFidelity;
+pub use recovery::{
+    DisturbReRead, LadderOutcome, ReadResolution, RecoveryLadder, RecoveryStep, RecoveryStepReport,
+    RetrySweep, StepAttempt,
+};
 pub use ssd::Ssd;
 pub use stats::SsdStats;

@@ -1,5 +1,14 @@
-//! Mitigation policy hook: how read-disturb countermeasures plug into the
-//! controller.
+//! Controller policy hook: how read-disturb countermeasures plug into the
+//! controller, event-driven.
+//!
+//! A [`ControllerPolicy`] observes the controller's events — every host
+//! read ([`ControllerPolicy::on_read`]), every host program
+//! ([`ControllerPolicy::on_program`]), and the maintenance tick
+//! ([`ControllerPolicy::on_tick`], simulated nanoseconds) — and answers
+//! each with a *batch* of [`PolicyAction`]s. The controller turns those
+//! actions into background jobs whose flash work (relocation reads and
+//! programs, probe reads) is counted in [`crate::SsdStats`] and charged to
+//! the engine's discrete-event clock.
 //!
 //! The FTL ships two built-in policies — [`NoMitigation`] (the paper's
 //! baseline) and [`ReadReclaim`] (the prior-art mitigation, §5) — and
@@ -19,48 +28,109 @@ pub struct PolicyContext<'a> {
     pub refresh_interval_days: f64,
     /// ECC capability per page in bit errors.
     pub page_capability: u64,
+    /// Probe reads the policy performed against the chip during this hook
+    /// (reported via [`PolicyContext::charge_probe_reads`]); the controller
+    /// folds them into [`crate::SsdStats::policy_probe_reads`] so the
+    /// engine clock can cost them at tR each.
+    probe_reads: u64,
 }
 
-/// Action requested by a policy.
+impl<'a> PolicyContext<'a> {
+    /// Builds a context for one policy hook invocation.
+    pub fn new(
+        chip: &'a mut Chip,
+        valid_blocks: &'a [u32],
+        refresh_interval_days: f64,
+        page_capability: u64,
+    ) -> Self {
+        Self { chip, valid_blocks, refresh_interval_days, page_capability, probe_reads: 0 }
+    }
+
+    /// Reports `n` probe reads the policy issued against the chip (tuning
+    /// sweeps, margin probes). They become controller time: tR each on the
+    /// engine's discrete-event clock.
+    pub fn charge_probe_reads(&mut self, n: u64) {
+        self.probe_reads += n;
+    }
+
+    /// Probe reads charged so far in this hook invocation.
+    pub fn probe_reads(&self) -> u64 {
+        self.probe_reads
+    }
+}
+
+/// Background job requested by a policy. Jobs are executed by the
+/// controller after the hook returns, in batch order, and their flash work
+/// is costed in engine time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PolicyAction {
-    /// Nothing to do.
-    None,
-    /// Relocate all valid data out of a block and erase it.
+    /// Relocate all valid data out of a block and erase it (a reclaim
+    /// migration: one read + one program per valid page, plus the erase).
     ReclaimBlock(u32),
 }
 
-/// A read-disturb mitigation policy embedded in the controller.
-pub trait MitigationPolicy {
+/// An event-driven controller policy (read-disturb mitigation or any other
+/// background maintenance scheme) embedded in the controller.
+///
+/// All hooks default to "observe nothing, request nothing", so a policy
+/// only implements the events it cares about. Hooks return action
+/// *batches*; an empty batch means no background work.
+pub trait ControllerPolicy {
     /// Policy name (used in experiment output).
     fn name(&self) -> &'static str;
 
-    /// Called once per simulated day. Returns any block-level actions.
-    fn daily(&mut self, ctx: &mut PolicyContext<'_>) -> Vec<PolicyAction> {
-        let _ = ctx;
-        Vec::new()
+    /// Whether this policy observes per-request events
+    /// ([`ControllerPolicy::on_read`] / [`ControllerPolicy::on_program`]).
+    /// Tick-only policies return `false` so the controller can skip
+    /// per-request context construction on the hot path; the tick hook
+    /// always fires regardless.
+    fn observes_requests(&self) -> bool {
+        true
     }
 
-    /// Called after every host read.
-    fn after_read(
+    /// Called after every host read that reached the flash array, with the
+    /// physical block read and the raw read outcome.
+    fn on_read(
         &mut self,
         ctx: &mut PolicyContext<'_>,
         block: u32,
         outcome: &ReadOutcome,
-    ) -> PolicyAction {
+    ) -> Vec<PolicyAction> {
         let _ = (ctx, block, outcome);
-        PolicyAction::None
+        Vec::new()
+    }
+
+    /// Called after every host program, with the physical block written.
+    fn on_program(&mut self, ctx: &mut PolicyContext<'_>, block: u32) -> Vec<PolicyAction> {
+        let _ = (ctx, block);
+        Vec::new()
+    }
+
+    /// Called on each maintenance tick with the simulated time elapsed
+    /// since the previous tick, in nanoseconds. The controller ticks at
+    /// each day boundary (`86 400 × 10⁹ ns` per tick under
+    /// [`crate::Die::advance_time`]).
+    fn on_tick(&mut self, ctx: &mut PolicyContext<'_>, elapsed_ns: u64) -> Vec<PolicyAction> {
+        let _ = (ctx, elapsed_ns);
+        Vec::new()
     }
 }
+
+/// Nanoseconds in one simulated day (the controller's tick period).
+pub const DAY_NS: u64 = 86_400_000_000_000;
 
 /// The paper's baseline: fixed nominal Vpass, no countermeasures beyond the
 /// periodic refresh the controller already performs.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoMitigation;
 
-impl MitigationPolicy for NoMitigation {
+impl ControllerPolicy for NoMitigation {
     fn name(&self) -> &'static str {
         "baseline"
+    }
+
+    fn observes_requests(&self) -> bool {
+        false
     }
 }
 
@@ -80,22 +150,22 @@ impl ReadReclaim {
     }
 }
 
-impl MitigationPolicy for ReadReclaim {
+impl ControllerPolicy for ReadReclaim {
     fn name(&self) -> &'static str {
         "read-reclaim"
     }
 
-    fn after_read(
+    fn on_read(
         &mut self,
         ctx: &mut PolicyContext<'_>,
         block: u32,
         _outcome: &ReadOutcome,
-    ) -> PolicyAction {
+    ) -> Vec<PolicyAction> {
         let reads = ctx.chip.block_status(block).map(|s| s.reads_since_erase).unwrap_or(0);
         if reads >= self.read_threshold {
-            PolicyAction::ReclaimBlock(block)
+            vec![PolicyAction::ReclaimBlock(block)]
         } else {
-            PolicyAction::None
+            Vec::new()
         }
     }
 }
@@ -109,14 +179,11 @@ mod tests {
     fn no_mitigation_is_inert() {
         let mut chip = Chip::new(Geometry::small(), ChipParams::default(), 0);
         let valid = vec![0u32];
-        let mut ctx = PolicyContext {
-            chip: &mut chip,
-            valid_blocks: &valid,
-            refresh_interval_days: 7.0,
-            page_capability: 4,
-        };
+        let mut ctx = PolicyContext::new(&mut chip, &valid, 7.0, 4);
         let mut p = NoMitigation;
-        assert!(p.daily(&mut ctx).is_empty());
+        assert!(p.on_tick(&mut ctx, DAY_NS).is_empty());
+        assert!(p.on_program(&mut ctx, 0).is_empty());
+        assert_eq!(ctx.probe_reads(), 0);
         assert_eq!(p.name(), "baseline");
     }
 
@@ -128,24 +195,24 @@ mod tests {
         let valid = vec![0u32];
         let mut p = ReadReclaim { read_threshold: 100 };
         {
-            let mut ctx = PolicyContext {
-                chip: &mut chip,
-                valid_blocks: &valid,
-                refresh_interval_days: 7.0,
-                page_capability: 4,
-            };
-            assert_eq!(p.after_read(&mut ctx, 0, &outcome), PolicyAction::None);
+            let mut ctx = PolicyContext::new(&mut chip, &valid, 7.0, 4);
+            assert!(p.on_read(&mut ctx, 0, &outcome).is_empty());
         }
         chip.apply_read_disturbs(0, 200).unwrap();
         {
-            let mut ctx = PolicyContext {
-                chip: &mut chip,
-                valid_blocks: &valid,
-                refresh_interval_days: 7.0,
-                page_capability: 4,
-            };
-            assert_eq!(p.after_read(&mut ctx, 0, &outcome), PolicyAction::ReclaimBlock(0));
+            let mut ctx = PolicyContext::new(&mut chip, &valid, 7.0, 4);
+            assert_eq!(p.on_read(&mut ctx, 0, &outcome), vec![PolicyAction::ReclaimBlock(0)]);
         }
+    }
+
+    #[test]
+    fn probe_read_charges_accumulate() {
+        let mut chip = Chip::new(Geometry::small(), ChipParams::default(), 0);
+        let valid = vec![0u32];
+        let mut ctx = PolicyContext::new(&mut chip, &valid, 7.0, 4);
+        ctx.charge_probe_reads(3);
+        ctx.charge_probe_reads(4);
+        assert_eq!(ctx.probe_reads(), 7);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::config::SsdConfig;
 use crate::die::Die;
 use crate::error::FtlError;
 use crate::mapping::PageMap;
-use crate::policy::{MitigationPolicy, NoMitigation};
+use crate::policy::{ControllerPolicy, NoMitigation};
 use crate::stats::SsdStats;
 use rd_flash::Chip;
 
@@ -18,7 +18,7 @@ pub use crate::die::HostRead;
 
 /// The simulated single-chip SSD.
 #[derive(Debug)]
-pub struct Ssd<P: MitigationPolicy = NoMitigation> {
+pub struct Ssd<P: ControllerPolicy = NoMitigation> {
     die: Die<P>,
 }
 
@@ -33,8 +33,8 @@ impl Ssd<NoMitigation> {
     }
 }
 
-impl<P: MitigationPolicy> Ssd<P> {
-    /// Creates an SSD with an explicit mitigation policy.
+impl<P: ControllerPolicy> Ssd<P> {
+    /// Creates an SSD with an explicit controller policy.
     ///
     /// # Errors
     ///
@@ -77,9 +77,19 @@ impl<P: MitigationPolicy> Ssd<P> {
         self.die.map()
     }
 
-    /// The mitigation policy.
+    /// The controller policy.
     pub fn policy(&self) -> &P {
         self.die.policy()
+    }
+
+    /// The recovery ladder the read pipeline escalates through.
+    pub fn recovery_ladder(&self) -> &crate::recovery::RecoveryLadder {
+        self.die.recovery_ladder()
+    }
+
+    /// Replaces the recovery ladder (see [`Die::set_recovery_ladder`]).
+    pub fn set_recovery_ladder(&mut self, ladder: crate::recovery::RecoveryLadder) {
+        self.die.set_recovery_ladder(ladder)
     }
 
     /// The underlying die (the engine-facing view of the same state).
@@ -102,13 +112,15 @@ impl<P: MitigationPolicy> Ssd<P> {
         self.die.write(lpa)
     }
 
-    /// Reads a logical page through ECC.
+    /// Reads a logical page through the controller pipeline (ECC decode,
+    /// then recovery-ladder escalation on uncorrectable pages).
     ///
     /// # Errors
     ///
     /// * [`FtlError::NotWritten`] if the page was never written;
     /// * [`FtlError::Uncorrectable`] if raw errors exceed the ECC capability
-    ///   (counted as a data-loss event, the paper's end-of-life criterion).
+    ///   and every recovery-ladder rung fails (counted as a data-loss
+    ///   event, the paper's end-of-life criterion).
     pub fn read(&mut self, lpa: u64) -> Result<HostRead, FtlError> {
         self.die.read(lpa)
     }

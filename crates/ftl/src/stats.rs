@@ -1,4 +1,5 @@
-//! Controller statistics: write amplification, wear, and reliability events.
+//! Controller statistics: write amplification, wear, reliability events,
+//! and the recovery/background-work counters the engine clock charges.
 
 /// Counters maintained by the SSD.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -15,8 +16,21 @@ pub struct SsdStats {
     pub erases: u64,
     /// Host-issued page reads.
     pub host_reads: u64,
-    /// Reads whose raw bit errors exceeded the ECC capability.
+    /// Host reads that stayed uncorrectable after the full recovery ladder
+    /// (data-loss events, the paper's end-of-life criterion).
     pub uncorrectable_reads: u64,
+    /// Host reads whose initial decode failed but were salvaged by the
+    /// recovery ladder (retry / disturb-aware re-read).
+    pub recovered_reads: u64,
+    /// Recovery-ladder steps engaged across all escalations (each failed
+    /// or succeeding rung counts once).
+    pub recovery_steps: u64,
+    /// Flash re-reads spent inside the recovery ladder (each costs tR on
+    /// the engine clock).
+    pub recovery_reads: u64,
+    /// Probe reads controller policies performed (tuning sweeps, margin
+    /// probes; each costs tR on the engine clock).
+    pub policy_probe_reads: u64,
     /// Total raw bit errors corrected across all reads.
     pub corrected_bits: u64,
     /// Relocations where even the internal read was uncorrectable, so raw
@@ -40,6 +54,10 @@ impl std::ops::AddAssign for SsdStats {
             erases,
             host_reads,
             uncorrectable_reads,
+            recovered_reads,
+            recovery_steps,
+            recovery_reads,
+            policy_probe_reads,
             corrected_bits,
             data_loss_relocations,
             refreshes,
@@ -52,6 +70,10 @@ impl std::ops::AddAssign for SsdStats {
         self.erases += erases;
         self.host_reads += host_reads;
         self.uncorrectable_reads += uncorrectable_reads;
+        self.recovered_reads += recovered_reads;
+        self.recovery_steps += recovery_steps;
+        self.recovery_reads += recovery_reads;
+        self.policy_probe_reads += policy_probe_reads;
         self.corrected_bits += corrected_bits;
         self.data_loss_relocations += data_loss_relocations;
         self.refreshes += refreshes;
@@ -65,12 +87,30 @@ impl SsdStats {
         self.host_writes + self.gc_writes + self.refresh_writes + self.reclaim_writes
     }
 
+    /// Pages relocated by background jobs (GC, refresh, policy reclaim) —
+    /// each cost a read + a program on the engine clock.
+    pub fn relocated_pages(&self) -> u64 {
+        self.gc_writes + self.refresh_writes + self.reclaim_writes
+    }
+
     /// Write amplification factor: physical writes per host write.
     pub fn waf(&self) -> f64 {
         if self.host_writes == 0 {
             0.0
         } else {
             self.total_writes() as f64 / self.host_writes as f64
+        }
+    }
+
+    /// Uncorrectable bit error rate over the host reads served. When ECC
+    /// fails, the whole page is lost, so bits-lost over bits-read reduces
+    /// exactly to uncorrectable page events per page read — page size
+    /// cancels out of the ratio.
+    pub fn uber(&self) -> f64 {
+        if self.host_reads == 0 {
+            0.0
+        } else {
+            self.uncorrectable_reads as f64 / self.host_reads as f64
         }
     }
 }
@@ -82,11 +122,24 @@ mod tests {
     #[test]
     fn add_assign_sums_every_counter() {
         let mut a = SsdStats { host_writes: 1, corrected_bits: 5, ..Default::default() };
-        let b = SsdStats { host_writes: 2, erases: 3, corrected_bits: 7, ..Default::default() };
+        let b = SsdStats {
+            host_writes: 2,
+            erases: 3,
+            corrected_bits: 7,
+            recovered_reads: 2,
+            recovery_steps: 3,
+            recovery_reads: 11,
+            policy_probe_reads: 4,
+            ..Default::default()
+        };
         a += b;
         assert_eq!(a.host_writes, 3);
         assert_eq!(a.erases, 3);
         assert_eq!(a.corrected_bits, 12);
+        assert_eq!(a.recovered_reads, 2);
+        assert_eq!(a.recovery_steps, 3);
+        assert_eq!(a.recovery_reads, 11);
+        assert_eq!(a.policy_probe_reads, 4);
     }
 
     #[test]
@@ -98,5 +151,17 @@ mod tests {
         s.refresh_writes = 10;
         assert!((s.waf() - 1.4).abs() < 1e-12);
         assert_eq!(s.total_writes(), 140);
+        assert_eq!(s.relocated_pages(), 40);
+    }
+
+    #[test]
+    fn uber_is_whole_page_loss_rate() {
+        let mut s = SsdStats::default();
+        assert_eq!(s.uber(), 0.0);
+        s.host_reads = 1_000;
+        assert_eq!(s.uber(), 0.0);
+        s.uncorrectable_reads = 2;
+        // 2 whole-page losses in 1000 page reads: UBER = 2/1000.
+        assert!((s.uber() - 2.0e-3).abs() < 1e-15);
     }
 }

@@ -61,8 +61,8 @@ pub use rd_workloads as workloads;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use rd_core::{
-        Mitigation, Rdr, RdrConfig, Rfr, RfrConfig, Ror, RorConfig, TuneReport, VpassTuner,
-        VpassTunerConfig, VpassTuningPolicy,
+        full_recovery_ladder, Mitigation, Rdr, RdrConfig, Rfr, RfrConfig, RfrRecoveryStep, Ror,
+        RorConfig, RorRecoveryStep, TuneReport, VpassTuner, VpassTunerConfig, VpassTuningPolicy,
     };
     pub use rd_ecc::{BchCode, MarginPolicy, PageEccModel, ThresholdEcc};
     pub use rd_engine::{Engine, EngineConfig, EngineStats, ReqKind, Timing, Topology};
@@ -70,7 +70,10 @@ pub mod prelude {
         AnalyticModel, BitErrorStats, CellState, Chip, ChipParams, Geometry, ReadFidelity,
         VoltageRefs, NOMINAL_VPASS,
     };
-    pub use rd_ftl::{MitigationPolicy, NoMitigation, ReadReclaim, Ssd, SsdConfig};
+    pub use rd_ftl::{
+        ControllerPolicy, NoMitigation, ReadReclaim, ReadResolution, RecoveryLadder, RecoveryStep,
+        Ssd, SsdConfig,
+    };
     pub use rd_workloads::{TraceGenerator, TraceStats, WorkloadProfile};
 }
 

@@ -25,7 +25,7 @@ fn ssd_config() -> SsdConfig {
 
 /// Replays two weeks of a read-hot workload against an SSD, returning
 /// (corrected bits, uncorrectable reads, mean tuned reduction %).
-fn replay<P: MitigationPolicy>(
+fn replay<P: ControllerPolicy>(
     mut ssd: Ssd<P>,
 ) -> Result<(u64, u64, f64), Box<dyn std::error::Error>> {
     // Pre-wear the device so disturb effects are visible within the demo.

@@ -1,0 +1,178 @@
+//! The controller read pipeline end to end: ECC decode → read-retry →
+//! disturb-aware re-read → uncorrectable, under escalating read-disturb
+//! stress, on both fidelity tiers — plus bit-identical determinism of the
+//! recovery path across engine worker-thread counts.
+
+use readdisturb::ftl::{Die, FtlError, ReadResolution, SsdConfig};
+use readdisturb::prelude::*;
+
+/// A per-die configuration whose ECC line (capability = 16 bit errors per
+/// 2048-bit page) sits between the retry-recoverable error level and the
+/// deep-disturb error level at 10K P/E, so every pipeline outcome is
+/// reachable by turning the disturb knob.
+fn staged_config(fidelity: ReadFidelity) -> SsdConfig {
+    SsdConfig {
+        geometry: Geometry { blocks: 16, wordlines_per_block: 8, bitlines: 2048 },
+        chip_params: ChipParams::default(),
+        overprovision: 0.25,
+        gc_free_threshold: 2,
+        refresh_interval_days: 7.0,
+        ecc_capability_rber: 8.0e-3,
+        seed: 77,
+    }
+    .with_fidelity(fidelity)
+}
+
+/// Rank of a resolution in the escalation order.
+fn rank(read: &Result<readdisturb::ftl::HostRead, FtlError>) -> u8 {
+    match read {
+        Ok(r) => match &r.resolution {
+            ReadResolution::Clean => 0,
+            ReadResolution::Corrected { .. } => 1,
+            ReadResolution::Recovered { .. } => 2,
+            // Die::read surfaces exhausted ladders as FtlError::Uncorrectable,
+            // but the variant is a legal resolution for pipeline consumers.
+            ReadResolution::Uncorrectable { .. } => 3,
+        },
+        Err(FtlError::Uncorrectable { .. }) => 3,
+        Err(e) => panic!("unexpected read error: {e}"),
+    }
+}
+
+#[test]
+fn escalation_order_clean_corrected_recovered_uncorrectable() {
+    for fidelity in [ReadFidelity::CellExact, ReadFidelity::PageAnalytic] {
+        let mut die = Die::new(staged_config(fidelity)).unwrap();
+        for b in 0..16 {
+            die.chip_mut().cycle_block(b, 10_000).unwrap();
+        }
+        // Fresh pages at this wear level: at least one decodes clean
+        // (which page depends on the tier's error placement), and lpa 1 —
+        // the MSB page of wordline 0, where disturb errors concentrate on
+        // the exact tier — is the escalation target.
+        for lpa in 0..4 {
+            die.write(lpa).unwrap();
+        }
+        let saw_clean = (0..4).any(|lpa| rank(&die.read(lpa)) == 0);
+        assert!(saw_clean, "{fidelity}: no fresh page decoded clean");
+        let block = die.read(1).unwrap().ppa.block;
+
+        // Escalating disturb: one read per dose step, recording the rank.
+        let mut ranks = Vec::new();
+        for step in 0..24 {
+            die.chip_mut().apply_read_disturbs(block, 250_000).unwrap();
+            if step >= 12 {
+                // Deep phase: add retention so no reference shift can fit
+                // both the up-drifted ER/P1 and the down-leaked P2/P3.
+                die.chip_mut().advance_block_days(block, 5.0).unwrap();
+            }
+            ranks.push(rank(&die.read(1)));
+        }
+
+        let first = |r: u8| ranks.iter().position(|&x| x == r);
+        let (corrected, recovered, uncorrectable) = (first(1), first(2), first(3));
+        assert!(
+            corrected.is_some() && recovered.is_some() && uncorrectable.is_some(),
+            "{fidelity}: escalation incomplete, ranks = {ranks:?}"
+        );
+        assert!(
+            corrected < recovered && recovered < uncorrectable,
+            "{fidelity}: escalation out of order, ranks = {ranks:?}"
+        );
+
+        // Recovery-step statistics follow the escalation.
+        let stats = die.stats();
+        assert!(stats.recovered_reads > 0, "{fidelity}: no recovered reads recorded");
+        assert!(stats.uncorrectable_reads > 0, "{fidelity}: no loss events recorded");
+        assert!(
+            stats.recovery_steps >= stats.recovered_reads,
+            "{fidelity}: every escalation engages at least one ladder step"
+        );
+        assert!(
+            stats.recovery_reads >= stats.recovery_steps,
+            "{fidelity}: every engaged step spends at least one flash read"
+        );
+        assert!(stats.uber() > 0.0 && stats.uber() < 1.0, "{fidelity}: uber = {}", stats.uber());
+    }
+}
+
+#[test]
+fn recovered_reads_report_their_ladder_steps() {
+    let mut die = Die::new(staged_config(ReadFidelity::CellExact)).unwrap();
+    for b in 0..16 {
+        die.chip_mut().cycle_block(b, 10_000).unwrap();
+    }
+    die.write(0).unwrap();
+    die.write(1).unwrap();
+    let block = die.read(1).unwrap().ppa.block;
+    die.chip_mut().apply_read_disturbs(block, 600_000).unwrap();
+    let mut saw_recovered = false;
+    for _ in 0..10 {
+        if let Ok(r) = die.read(1) {
+            if let ReadResolution::Recovered { steps } = &r.resolution {
+                saw_recovered = true;
+                // The successful rung reports its decodable error count
+                // within capability; earlier rungs (if any) report None.
+                let last = steps.last().expect("recovered implies a step");
+                let errors = last.errors.expect("last step succeeded");
+                assert!(errors <= die.ecc().capability());
+                assert_eq!(errors, r.corrected_errors);
+                assert!(last.reads_spent >= 1);
+                for failed in &steps[..steps.len() - 1] {
+                    assert!(failed.errors.is_none());
+                }
+            }
+        }
+    }
+    assert!(saw_recovered, "disturb level never produced a recovered read");
+}
+
+/// Pre-stresses every die of an engine so the replayed trace escalates
+/// through the recovery ladder, then replays with `threads` workers.
+fn stressed_replay(fidelity: ReadFidelity, threads: usize) -> EngineStats {
+    let config = EngineConfig {
+        topology: Topology { channels: 2, dies_per_channel: 2 },
+        die: staged_config(fidelity),
+        timing: Timing::default(),
+        queue_depth: 8,
+        capture_read_data: false,
+    };
+    let mut engine = Engine::new(config).unwrap();
+    for d in 0..4 {
+        let chip = engine.die_mut(d).chip_mut();
+        for b in 0..16 {
+            chip.cycle_block(b, 10_000).unwrap();
+        }
+    }
+    for lpa in 0..engine.logical_pages() {
+        engine.submit_write(lpa);
+    }
+    engine.run(threads);
+    engine.drain_completions();
+    for d in 0..4 {
+        let die = engine.die_mut(d);
+        for b in die.valid_blocks() {
+            die.chip_mut().apply_read_disturbs(b, 1_000_000).unwrap();
+        }
+    }
+    let ops = WorkloadProfile::by_name("umass-web")
+        .unwrap()
+        .generator(2015, 16)
+        .take(6_000)
+        .collect::<Vec<_>>();
+    engine.replay(ops, threads)
+}
+
+#[test]
+fn recovery_path_is_bit_identical_across_thread_counts_on_both_tiers() {
+    for fidelity in [ReadFidelity::CellExact, ReadFidelity::PageAnalytic] {
+        let one = stressed_replay(fidelity, 1);
+        let four = stressed_replay(fidelity, 4);
+        assert!(
+            one.recovered_reads > 0,
+            "{fidelity}: the stressed replay never engaged the recovery ladder"
+        );
+        assert!(one.recovery_reads > 0 && one.background_us > 0.0);
+        assert_eq!(one, four, "{fidelity}: recovery path diverged across thread counts");
+    }
+}
