@@ -1,99 +1,152 @@
 //! Extension — the engine perf harness: replay one Zipf read-heavy trace
 //! across a sweep of channel/die configurations (simulated throughput,
 //! latency percentiles, per-die read-disturb pressure) and compare the
-//! `CellExact` and `PageAnalytic` fidelity tiers head-to-head on the same
-//! trace (host wall-clock throughput, RBER summary, data digest).
+//! `CellExact`, `PageAnalytic`, and `BlockAggregate` fidelity tiers
+//! head-to-head on the same trace (host wall-clock throughput, RBER
+//! summary, data digest, hot-path stage counters).
 //!
 //! Emits every row to `target/figures/ext_engine_scaling.jsonl` *and*
 //! appends one run entry (keyed by git SHA) to the `BENCH_PERF.json`
 //! trajectory at the workspace root — the accumulating perf history the
 //! CI `bench-smoke` job uploads and gates against.
 //!
-//! Built-in gates: simulated throughput must scale with die count, both
-//! tiers must replay bit-identically on re-run (FNV digest included), the
-//! analytic tier must beat the exact tier by the configured factor (≥10×
-//! full mode, ≥5× `--quick`), and — when the committed trajectory already
-//! holds an entry of the same mode — the analytic host throughput must not
-//! regress by more than 20% against it (`--no-regression-gate` disables).
+//! Built-in gates: simulated throughput must scale with die count, every
+//! measured tier must replay bit-identically on re-run (FNV digest
+//! included), the aggregate tier must reproduce across 1/2/8 worker
+//! threads, the analytic tier must beat the exact tier and the aggregate
+//! tier must beat the analytic tier by the configured factors (≥10× full
+//! mode, ≥5× `--quick`), the full-mode aggregate RBER must track the
+//! exact tier within 25%, and — when the committed trajectory already
+//! holds an entry of the same mode — the analytic and aggregate host
+//! throughputs must not regress against it by more than 20% (full mode)
+//! or 60% (`--quick`, whose millisecond-scale walls are noise-dominated)
+//! (`--no-regression-gate` disables).
 //!
-//! Usage: `ext_engine_scaling [--quick] [--no-regression-gate]`
+//! Usage: `ext_engine_scaling [--quick] [--no-regression-gate]
+//! [--tiers cell-exact,page-analytic,block-aggregate]`
+//!
+//! `--tiers` restricts the measured tier set (comma-separated
+//! [`ReadFidelity`] names); gates whose tiers are filtered out are
+//! skipped, so `--tiers page-analytic,block-aggregate` compares the two
+//! analytic tiers without paying for a `CellExact` sweep.
 
 use rd_bench::perf::{run_harness, HarnessConfig};
 use rd_bench::trajectory;
+use readdisturb::prelude::ReadFidelity;
 
 /// Allowed host-kIOPS drop vs the latest committed same-mode entry.
-const REGRESSION_TOLERANCE: f64 = 0.20;
+/// Quick mode's fast-tier walls are single-digit milliseconds, where one
+/// scheduler hiccup on a shared runner swings the measurement 2× — its
+/// wide band only catches order-of-magnitude regressions; the real 20%
+/// bar is enforced on full mode's far longer (hence stable) replays.
+fn regression_tolerance(mode: &str) -> f64 {
+    if mode == "quick" {
+        0.60
+    } else {
+        0.20
+    }
+}
+
+fn parse_tiers(spec: &str) -> Vec<ReadFidelity> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|t| t.parse::<ReadFidelity>().unwrap_or_else(|e| panic!("--tiers: {e}")))
+        .collect()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let gate_enabled = !args.iter().any(|a| a == "--no-regression-gate");
-    let config = if quick { HarnessConfig::quick() } else { HarnessConfig::full() };
+    let mut config = if quick { HarnessConfig::quick() } else { HarnessConfig::full() };
+    if let Some(pos) = args.iter().position(|a| a == "--tiers") {
+        let spec = args.get(pos + 1).expect("--tiers requires a comma-separated tier list");
+        config = config.with_tiers(parse_tiers(spec));
+    }
 
-    // Read the baseline BEFORE appending this run's entry.
-    let baseline = trajectory::latest_perf_host_kiops("BENCH_PERF", config.mode, "page-analytic");
+    // Read the baselines BEFORE appending this run's entry.
+    let baselines: Vec<(ReadFidelity, Option<f64>)> = config
+        .tiers
+        .iter()
+        .filter(|f| **f != ReadFidelity::CellExact)
+        .map(|&f| (f, trajectory::latest_perf_host_kiops("BENCH_PERF", config.mode, f.as_str())))
+        .collect();
 
     let outcome = run_harness(&config);
 
     rd_bench::emit_jsonl("ext_engine_scaling", &outcome.rows);
 
-    rd_bench::shape_check(
-        "analytic-over-exact replay speedup (4x4 topology)",
-        outcome.speedup(),
-        10.0,
-    );
-    rd_bench::shape_check(
-        "analytic-vs-exact mean block RBER",
-        outcome.analytic.mean_block_rber,
-        outcome.exact.mean_block_rber,
-    );
-    println!(
-        "## determinism: both tiers reproduced bit-identically \
-         (exact digest {:016x}, analytic digest {:016x})",
-        outcome.exact.stats.data_digest, outcome.analytic.stats.data_digest,
-    );
-    println!(
-        "## perf: exact {:.1} kIOPS ({:.0} ms) vs analytic {:.1} kIOPS ({:.0} ms) -> {:.1}x",
-        outcome.exact.host_kiops(),
-        outcome.exact.wall_s * 1e3,
-        outcome.analytic.host_kiops(),
-        outcome.analytic.wall_s * 1e3,
-        outcome.speedup(),
-    );
-    println!(
-        "## recovery: {} recovered, {} uncorrectable, {} retry reads, uber {:.3e}",
-        outcome.analytic.stats.recovered_reads,
-        outcome.analytic.stats.uncorrectable_reads,
-        outcome.analytic.stats.recovery_reads,
-        outcome.analytic.stats.uber,
-    );
+    if let Some(speedup) = outcome.speedup_over(ReadFidelity::PageAnalytic, ReadFidelity::CellExact)
+    {
+        rd_bench::shape_check("analytic-over-exact replay speedup", speedup, 10.0);
+    }
+    if let Some(speedup) =
+        outcome.speedup_over(ReadFidelity::BlockAggregate, ReadFidelity::PageAnalytic)
+    {
+        rd_bench::shape_check("aggregate-over-analytic replay speedup", speedup, 10.0);
+    }
+    if let (Some(exact), Some(aggregate)) =
+        (outcome.tier(ReadFidelity::CellExact), outcome.tier(ReadFidelity::BlockAggregate))
+    {
+        rd_bench::shape_check(
+            "aggregate-vs-exact mean block RBER",
+            aggregate.mean_block_rber,
+            exact.mean_block_rber,
+        );
+    }
+    for m in &outcome.perf {
+        println!(
+            "## perf[{}]: {:.1} kIOPS host ({:.0} ms wall), mean block RBER {:.3e}, \
+             digest {:016x}",
+            m.fidelity,
+            m.host_kiops(),
+            m.wall_s * 1e3,
+            m.mean_block_rber,
+            m.stats.data_digest,
+        );
+    }
+    if let Some(m) = outcome.perf.last() {
+        println!(
+            "## recovery: {} recovered, {} uncorrectable, {} retry reads, uber {:.3e}",
+            m.stats.recovered_reads,
+            m.stats.uncorrectable_reads,
+            m.stats.recovery_reads,
+            m.stats.uber,
+        );
+    }
+    println!("## determinism: every measured tier reproduced bit-identically");
 
-    // Trajectory regression gate: current analytic host throughput vs the
-    // latest committed entry of the same mode. The gate runs BEFORE this
-    // run's entry is appended, so a failing run never installs its own
+    // Trajectory regression gates: each fast tier's current host throughput
+    // vs the latest committed entry of the same mode. The gates run BEFORE
+    // this run's entry is appended, so a failing run never installs its own
     // regressed number as the next baseline.
-    match baseline {
-        Some(base) if base > 0.0 => {
-            let current = outcome.analytic.host_kiops();
-            let floor = base * (1.0 - REGRESSION_TOLERANCE);
-            println!(
-                "## trajectory gate ({}): current {current:.1} kIOPS vs baseline {base:.1} \
-                 (floor {floor:.1})",
-                config.mode,
-            );
-            if gate_enabled {
-                assert!(
-                    current >= floor,
-                    "analytic host throughput regressed >{:.0}%: {current:.1} kIOPS vs \
-                     trajectory baseline {base:.1}",
-                    REGRESSION_TOLERANCE * 100.0,
+    for (fidelity, baseline) in baselines {
+        let Some(m) = outcome.tier(fidelity) else { continue };
+        match baseline {
+            Some(base) if base > 0.0 => {
+                let current = m.host_kiops();
+                let tolerance = regression_tolerance(config.mode);
+                let floor = base * (1.0 - tolerance);
+                println!(
+                    "## trajectory gate ({}, {fidelity}): current {current:.1} kIOPS vs \
+                     baseline {base:.1} (floor {floor:.1})",
+                    config.mode,
                 );
+                if gate_enabled {
+                    assert!(
+                        current >= floor,
+                        "{fidelity} host throughput regressed >{:.0}%: {current:.1} kIOPS vs \
+                         trajectory baseline {base:.1}",
+                        tolerance * 100.0,
+                    );
+                }
             }
+            _ => println!(
+                "## trajectory gate ({}, {fidelity}): no committed baseline; gate skipped",
+                config.mode,
+            ),
         }
-        _ => println!(
-            "## trajectory gate ({}): no committed baseline for this mode; gate skipped",
-            config.mode,
-        ),
     }
 
     // Record the run only once the gates have passed.

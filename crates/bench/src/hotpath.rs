@@ -1,0 +1,161 @@
+//! Per-stage hot-path counters for the replay pipeline: ns/op for the four
+//! stages that dominate bulk-replay wall-clock — error **sampling** (one
+//! `Chip::read_page`), the disturb **fold** (one `apply_read_disturbs`
+//! charge), the **ecc** decode decision, and the engine **queue**/timing
+//! machinery (submit → discrete-event dispatch → completion for a request
+//! that barely touches flash).
+//!
+//! Each stage is timed directly against the public API on the shared
+//! engine-scale configuration ([`crate::replay::die_config`]), so the
+//! numbers reflect exactly what a perf-harness replay pays per request.
+//! [`HotpathReport::json_fields`] renders the counters as flat JSON fields
+//! for embedding in the perf rows (`hotpath_sample_ns`, `hotpath_fold_ns`,
+//! `hotpath_ecc_ns`, `hotpath_queue_ns`).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use readdisturb::ecc::PageDecode;
+use readdisturb::prelude::*;
+
+use crate::replay::die_config;
+
+/// Per-stage hot-path cost of one replayed request, in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct HotpathReport {
+    /// Fidelity tier the sample/fold stages were measured at.
+    pub fidelity: ReadFidelity,
+    /// One `Chip::read_page` on a programmed block (error materialization —
+    /// Monte-Carlo senses cells, analytic samples a binomial, aggregate
+    /// fast-forwards a summary).
+    pub sample_ns: f64,
+    /// One read's disturb charge (`apply_read_disturbs(block, 1)`).
+    pub fold_ns: f64,
+    /// One `PageEccModel::decode` outcome decision.
+    pub ecc_ns: f64,
+    /// Engine submit → timing dispatch → completion for a mapping-table
+    /// miss (no flash work: isolates queue + discrete-event machinery).
+    pub queue_ns: f64,
+}
+
+impl HotpathReport {
+    /// Renders the counters as flat JSON fields (no nesting, no arrays —
+    /// safe to splice into the perf trajectory's one-line rows).
+    pub fn json_fields(&self) -> String {
+        format!(
+            concat!(
+                "\"hotpath_sample_ns\":{:.1},\"hotpath_fold_ns\":{:.1},",
+                "\"hotpath_ecc_ns\":{:.1},\"hotpath_queue_ns\":{:.1}"
+            ),
+            self.sample_ns, self.fold_ns, self.ecc_ns, self.queue_ns
+        )
+    }
+}
+
+/// Measures the four stages at `fidelity` with the default iteration count.
+pub fn measure(fidelity: ReadFidelity) -> HotpathReport {
+    measure_with(fidelity, 2_000)
+}
+
+/// [`measure`] with an explicit per-stage iteration count (tests use a
+/// small one).
+///
+/// # Panics
+///
+/// Panics if the shared engine-scale configuration cannot be built (these
+/// are experiment helpers).
+pub fn measure_with(fidelity: ReadFidelity, iters: u32) -> HotpathReport {
+    let iters = iters.max(1);
+    let cfg = die_config();
+    let ecc =
+        PageEccModel::from_operating_rber(cfg.geometry.bits_per_page(), cfg.ecc_capability_rber);
+    let mut chip = Chip::with_fidelity(cfg.geometry, cfg.chip_params.clone(), cfg.seed, fidelity);
+    // Same margin hint the FTL read path installs, so the aggregate tier's
+    // fast-forward path (the one replay exercises) is what gets timed.
+    chip.set_read_margin(Some(ecc.capability()));
+    chip.program_block_random(0, 7).expect("program block 0");
+
+    // Sample: one read_page per iteration, cycling pages.
+    let pages = chip.geometry().pages_per_block();
+    let start = Instant::now();
+    let mut sink = 0u64;
+    for i in 0..iters {
+        sink ^= chip.read_page(0, i % pages).expect("read page").stats.errors;
+    }
+    let sample_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+
+    // Fold: one read's worth of disturb charge per iteration.
+    let start = Instant::now();
+    for _ in 0..iters {
+        chip.apply_read_disturbs(0, 1).expect("disturb");
+    }
+    let fold_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+
+    // Ecc: one decode decision per iteration over a spread of error counts.
+    let start = Instant::now();
+    for i in 0..iters {
+        sink ^= match ecc.decode((i % 8) as u64) {
+            PageDecode::Clean => 0,
+            PageDecode::Corrected { errors } => errors,
+            PageDecode::Failed { errors } => errors,
+        };
+    }
+    let ecc_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    black_box(sink);
+
+    // Queue: submit + timing dispatch + completion for reads that miss the
+    // mapping table (answered without touching the array).
+    let mut engine = Engine::new(EngineConfig {
+        topology: Topology { channels: 2, dies_per_channel: 2 },
+        die: die_config(),
+        timing: Timing::default(),
+        queue_depth: 16,
+        capture_read_data: false,
+    })
+    .expect("engine");
+    let logical = engine.logical_pages();
+    let start = Instant::now();
+    for i in 0..iters {
+        engine.submit_read(i as u64 % logical);
+    }
+    engine.run(1);
+    let queue_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    engine.drain_completions();
+
+    HotpathReport { fidelity, sample_ns, fold_ns, ecc_ns, queue_ns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_measure_finite_and_positive() {
+        for fidelity in
+            [ReadFidelity::CellExact, ReadFidelity::PageAnalytic, ReadFidelity::BlockAggregate]
+        {
+            let r = measure_with(fidelity, 64);
+            for (stage, ns) in [
+                ("sample", r.sample_ns),
+                ("fold", r.fold_ns),
+                ("ecc", r.ecc_ns),
+                ("queue", r.queue_ns),
+            ] {
+                assert!(ns.is_finite() && ns >= 0.0, "{fidelity:?} {stage}: {ns}");
+            }
+        }
+    }
+
+    #[test]
+    fn json_fields_are_flat() {
+        let r = measure_with(ReadFidelity::BlockAggregate, 8);
+        let fields = r.json_fields();
+        for key in ["hotpath_sample_ns", "hotpath_fold_ns", "hotpath_ecc_ns", "hotpath_queue_ns"] {
+            assert!(fields.contains(key), "missing {key}: {fields}");
+        }
+        // The trajectory's entry scanner treats `]}` as an entry terminator;
+        // embedded fields must never introduce one.
+        assert!(!fields.contains(']'), "fields must stay flat: {fields}");
+        assert!(!fields.contains('['), "fields must stay flat: {fields}");
+    }
+}

@@ -10,6 +10,7 @@ use std::fs;
 use std::io::Write;
 use std::path::PathBuf;
 
+pub mod hotpath;
 pub mod perf;
 pub mod replay;
 pub mod trajectory;

@@ -79,7 +79,11 @@ impl ReplayMeasurement {
 /// pre-stressed or custom-laddered) engine.
 pub fn measure_replay_on(engine: &mut Engine, ops: &[TraceOp]) -> ReplayMeasurement {
     let start = Instant::now();
-    let stats = engine.replay(ops.iter().copied(), 0);
+    // Stats-only replay: identical execution, timing, and digest, but no
+    // per-request completion records — the harness only reads the stats,
+    // and at trace scale the completion build/sort cost would dominate the
+    // analytic tiers it measures.
+    let stats = engine.replay_stats_only(ops.iter().copied(), 0);
     let wall_s = start.elapsed().as_secs_f64();
 
     let mut errors = 0.0f64;
@@ -198,6 +202,24 @@ pub fn measure_recovery_scenario(
 /// reliability counters (UBER, recovery, relocation cost), and the FNV
 /// data digest.
 pub fn json_row(kind: &str, trace_ops: usize, m: &ReplayMeasurement) -> String {
+    json_row_with(kind, trace_ops, m, "")
+}
+
+/// [`json_row`] with extra flat JSON fields spliced in before the closing
+/// brace (e.g. the [`crate::hotpath`] stage counters). `extra` must be
+/// either empty or a comma-joined `"key":value` list with no leading comma
+/// — and must stay flat (no `[`/`]`), because the trajectory file's entry
+/// scanner treats `]}` as an entry terminator.
+///
+/// # Panics
+///
+/// Panics if `extra` contains a bracket.
+pub fn json_row_with(kind: &str, trace_ops: usize, m: &ReplayMeasurement, extra: &str) -> String {
+    assert!(
+        !extra.contains('[') && !extra.contains(']'),
+        "extra row fields must stay flat: {extra}"
+    );
+    let extra = if extra.is_empty() { String::new() } else { format!(",{extra}") };
     let s = &m.stats;
     let totals = s.totals();
     let hottest = s.per_die.iter().map(|d| d.hottest_block_reads).max().unwrap_or(0);
@@ -211,7 +233,7 @@ pub fn json_row(kind: &str, trace_ops: usize, m: &ReplayMeasurement) -> String {
             "\"mean_block_rber\":{:.3e},\"corrected_bits\":{},\"uncorrectable\":{},",
             "\"recovered\":{},\"recovery_steps\":{},\"recovery_reads\":{},\"uber\":{:.3e},",
             "\"background_ms\":{:.3},\"hottest_block_reads\":{},\"host_writes\":{},",
-            "\"gc_writes\":{},\"refresh_writes\":{},\"erases\":{},\"digest\":\"{:016x}\"}}"
+            "\"gc_writes\":{},\"refresh_writes\":{},\"erases\":{},\"digest\":\"{:016x}\"{}}}"
         ),
         kind,
         trace_ops,
@@ -243,5 +265,6 @@ pub fn json_row(kind: &str, trace_ops: usize, m: &ReplayMeasurement) -> String {
         totals.refresh_writes,
         totals.erases,
         s.data_digest,
+        extra,
     )
 }

@@ -263,11 +263,14 @@ fn ext_engine_scaling_perf_harness() {
             assert!(row.contains(key), "row missing {key}: {row}");
         }
     }
-    assert_eq!(outcome.exact.fidelity, ReadFidelity::CellExact);
-    assert_eq!(outcome.analytic.fidelity, ReadFidelity::PageAnalytic);
-    assert_eq!(outcome.exact.stats.ops, outcome.analytic.stats.ops);
-    assert!(outcome.exact.mean_block_rber.is_finite());
-    assert!(outcome.analytic.mean_block_rber > 0.0);
+    let exact = outcome.tier(ReadFidelity::CellExact).expect("exact tier measured");
+    let analytic = outcome.tier(ReadFidelity::PageAnalytic).expect("analytic tier measured");
+    let aggregate = outcome.tier(ReadFidelity::BlockAggregate).expect("aggregate tier measured");
+    assert_eq!(exact.stats.ops, analytic.stats.ops);
+    assert_eq!(exact.stats.ops, aggregate.stats.ops);
+    assert!(exact.mean_block_rber.is_finite());
+    assert!(analytic.mean_block_rber > 0.0);
+    assert!(aggregate.mean_block_rber > 0.0);
     assert!(
         outcome.speedup() > 2.0,
         "analytic should beat exact even unoptimized: {:.1}x",

@@ -23,13 +23,11 @@
 //! time, and [`Engine::stats`] aggregates throughput, latency percentiles,
 //! and per-die reliability counters.
 
-use std::collections::VecDeque;
-
 use rd_ftl::{ControllerPolicy, Die, FtlError, NoMitigation, ReadFidelity, SsdConfig};
 use rd_workloads::{OpKind, TraceOp};
 
 use crate::queue::{CompletionQueue, IoCompletion, IoRequest, ReqKind, SubmissionQueue};
-use crate::stats::{fnv1a, percentile, DieStats, EngineStats, FNV_OFFSET};
+use crate::stats::{fnv1a, percentiles_50_99, DieStats, EngineStats, FNV_OFFSET};
 use crate::timing::Timing;
 use crate::topology::Topology;
 
@@ -105,32 +103,102 @@ impl EngineConfig {
     }
 }
 
-/// A request routed to its die (flash-phase work unit).
+/// A request routed to its die (flash-phase work unit). The original lpa is
+/// not carried: striping is a bijection, so emit paths reconstruct it as
+/// `die_lpa * dies + die`.
 #[derive(Debug, Clone, Copy)]
 struct WorkItem {
     id: u64,
     kind: ReqKind,
-    lpa: u64,
     die_lpa: u64,
 }
 
-/// Flash-phase result of one request, before timestamps are assigned.
-#[derive(Debug)]
-struct Exec {
-    id: u64,
-    kind: ReqKind,
-    lpa: u64,
+/// The request was a write (else a read).
+const FLAG_WRITE: u8 = 1;
+/// A read that missed the mapping table (answered without flash work).
+const FLAG_NOT_WRITTEN: u8 = 1 << 1;
+/// A write the FTL rejected.
+const FLAG_WRITE_FAILED: u8 = 1 << 2;
+
+/// Hot flash-phase record: the 16 bytes per request the discrete-event
+/// timing pass actually touches (background die time is folded into
+/// `service_us` and accumulated per die in [`DieExec`]). Everything a
+/// completion record needs beyond this lives in [`ExecRich`], which bulk
+/// (stats-only) replay never materializes.
+#[derive(Debug, Clone, Copy)]
+struct ExecTiming {
     service_us: f64,
-    background_us: f64,
+    flags: u8,
+}
+
+/// Cold flash-phase record, built only when completions are emitted.
+#[derive(Debug)]
+struct ExecRich {
+    id: u64,
+    lpa: u64,
     corrected: u64,
     result: Result<(), FtlError>,
     data: Option<Vec<u8>>,
 }
 
-/// Flash-phase output of one die.
+/// Flash-phase output of one die. `rich` is empty on stats-only batches
+/// and parallel to `timing` otherwise.
 struct DieExec {
-    execs: Vec<Exec>,
+    timing: Vec<ExecTiming>,
+    rich: Vec<ExecRich>,
     digest: u64,
+    /// Total background die time across the batch (per-op deltas summed in
+    /// execution order, so the accumulated float is reproducible).
+    background_us: f64,
+    /// Total service time across the batch (same reproducible order).
+    busy_us: f64,
+    /// Op-kind tallies, so the dispatch loop carries no counter updates.
+    reads: u64,
+    writes: u64,
+    reads_not_written: u64,
+    writes_failed: u64,
+}
+
+/// Fixed-capacity ring of the last `queue_depth` completion times
+/// (oldest-first): the flat layout keeps the dispatch loop's
+/// queue-depth window allocation-free.
+#[derive(Debug, Clone)]
+struct Window {
+    buf: Vec<f64>,
+    start: usize,
+    len: usize,
+}
+
+impl Window {
+    fn new(capacity: usize) -> Self {
+        Self { buf: vec![0.0; capacity], start: 0, len: 0 }
+    }
+
+    /// Oldest completion time, only once the window is full.
+    #[inline]
+    fn front_if_full(&self) -> Option<f64> {
+        (self.len == self.buf.len()).then(|| self.buf[self.start])
+    }
+
+    /// Appends a completion time, evicting the oldest when full.
+    #[inline]
+    fn push(&mut self, v: f64) {
+        let cap = self.buf.len();
+        if self.len == cap {
+            self.buf[self.start] = v;
+            self.start += 1;
+            if self.start == cap {
+                self.start = 0;
+            }
+        } else {
+            let mut i = self.start + self.len;
+            if i >= cap {
+                i -= cap;
+            }
+            self.buf[i] = v;
+            self.len += 1;
+        }
+    }
 }
 
 /// The multi-channel/multi-die SSD engine.
@@ -141,10 +209,13 @@ pub struct Engine<P: ControllerPolicy = NoMitigation> {
     sq: SubmissionQueue,
     cq: CompletionQueue,
     next_id: u64,
+    /// Per-die work lists, reused across batches (arena: cleared, never
+    /// reallocated once the replay loop reaches steady state).
+    work: Vec<Vec<WorkItem>>,
     // Discrete-event clock state (persists across batches).
     die_free_us: Vec<f64>,
     chan_free_us: Vec<f64>,
-    inflight: Vec<VecDeque<f64>>,
+    inflight: Vec<Window>,
     sim_end_us: f64,
     // Cumulative accounting.
     die_ops: Vec<u64>,
@@ -186,6 +257,7 @@ impl<P: ControllerPolicy + Clone> Engine<P> {
         config.validate();
         let nd = config.topology.dies() as usize;
         let nc = config.topology.channels as usize;
+        let qd = config.queue_depth as usize;
         let mut dies = Vec::with_capacity(nd);
         for d in 0..nd {
             let mut die_cfg = config.die.clone();
@@ -198,9 +270,10 @@ impl<P: ControllerPolicy + Clone> Engine<P> {
             sq: SubmissionQueue::new(),
             cq: CompletionQueue::new(),
             next_id: 0,
+            work: vec![Vec::new(); nd],
             die_free_us: vec![0.0; nd],
             chan_free_us: vec![0.0; nc],
-            inflight: vec![VecDeque::new(); nd],
+            inflight: vec![Window::new(qd); nd],
             sim_end_us: 0.0,
             die_ops: vec![0; nd],
             die_busy_us: vec![0.0; nd],
@@ -317,10 +390,16 @@ impl<P: ControllerPolicy> Engine<P> {
         for dd in &self.die_digest {
             digest = fnv1a(digest, &dd.to_le_bytes());
         }
-        let mut sorted = self.latencies.clone();
-        sorted.sort_by(f64::total_cmp);
-        let mean =
-            if sorted.is_empty() { 0.0 } else { sorted.iter().sum::<f64>() / sorted.len() as f64 };
+        // Phase 2 is serial, so the latency sample's natural order is
+        // deterministic and thread-count-independent; the mean sums it
+        // directly and the percentiles come from two O(n) selections
+        // instead of a full sort.
+        let mean = if self.latencies.is_empty() {
+            0.0
+        } else {
+            self.latencies.iter().sum::<f64>() / self.latencies.len() as f64
+        };
+        let (p50, p99) = percentiles_50_99(&self.latencies);
         EngineStats {
             channels: self.config.topology.channels,
             dies: self.config.topology.dies(),
@@ -338,8 +417,8 @@ impl<P: ControllerPolicy> Engine<P> {
             corrected_bits: totals.corrected_bits,
             background_us: self.die_background_us.iter().sum(),
             makespan_us: self.sim_end_us,
-            latency_p50_us: percentile(&sorted, 0.50),
-            latency_p99_us: percentile(&sorted, 0.99),
+            latency_p50_us: p50,
+            latency_p99_us: p99,
             latency_mean_us: mean,
             data_digest: digest,
             per_die,
@@ -354,103 +433,155 @@ impl<P: ControllerPolicy + Send> Engine<P> {
     /// completions are in the completion queue, ordered by simulated
     /// completion time. Results are bit-identical for any thread count.
     pub fn run(&mut self, threads: usize) -> usize {
+        self.run_batch(threads, true)
+    }
+
+    /// [`Engine::run`] minus completion emission: the flash phase, the
+    /// discrete-event timing pass, and every statistic are identical, but no
+    /// [`IoCompletion`] records are built, sorted, or queued. Bulk replay
+    /// harnesses that only consume [`Engine::stats`] use this to keep the
+    /// per-request cost flat.
+    fn run_batch(&mut self, threads: usize, emit: bool) -> usize {
         let batch = self.sq.drain();
         if batch.is_empty() {
             return 0;
         }
-        let nd = self.dies.len();
-        let mut work: Vec<Vec<WorkItem>> = vec![Vec::new(); nd];
+        for w in &mut self.work {
+            w.clear();
+        }
         for req in &batch {
             let (die, die_lpa) = self.config.topology.stripe(req.lpa);
-            work[die as usize].push(WorkItem { id: req.id, kind: req.kind, lpa: req.lpa, die_lpa });
+            self.work[die as usize].push(WorkItem { id: req.id, kind: req.kind, die_lpa });
         }
+        self.run_prepared(threads, emit)
+    }
+
+    /// Runs the per-die work lists already distributed into `self.work`
+    /// (the arena the replay entry points fill directly, skipping the
+    /// submission-queue pass).
+    fn run_prepared(&mut self, threads: usize, emit: bool) -> usize {
+        let nd = self.dies.len();
 
         // Phase 1: flash execution, parallel over dies.
         let threads = resolve_threads(threads, nd);
         let mut execs = execute_dies(
             &mut self.dies,
-            &work,
+            &self.work,
             &self.config.timing,
             self.config.capture_read_data,
             &self.die_digest,
             threads,
+            emit,
         );
         for (d, e) in execs.iter().enumerate() {
             self.die_digest[d] = e.digest;
+            self.die_background_us[d] += e.background_us;
+            self.die_busy_us[d] += e.busy_us;
+            self.die_ops[d] += e.timing.len() as u64;
+            self.reads += e.reads;
+            self.writes += e.writes;
+            self.reads_not_written += e.reads_not_written;
+            self.writes_failed += e.writes_failed;
         }
 
         // Phase 2: discrete-event timing. Repeatedly dispatch the request
         // with the earliest per-die ready time (queue-depth pacing + die
-        // availability), serializing channel transfer slots.
-        let qd = self.config.queue_depth as usize;
+        // availability), serializing channel transfer slots. A die's
+        // (ready, submit) pair only changes when that die dispatches, so the
+        // values are cached and the loop is a flat argmin scan; ties pick
+        // the lowest die index, exactly as the full rescan did.
         let batch_now = self.sim_end_us;
-        let total: usize = execs.iter().map(|e| e.execs.len()).sum();
-        let mut next = vec![0usize; nd];
-        let mut completions: Vec<IoCompletion> = Vec::with_capacity(total);
-        for _ in 0..total {
-            let mut best: Option<(f64, f64, usize)> = None;
-            for d in 0..nd {
-                if next[d] >= execs[d].execs.len() {
-                    continue;
-                }
-                let submit = if self.inflight[d].len() == qd {
-                    self.inflight[d].front().copied().unwrap_or(batch_now).max(batch_now)
-                } else {
-                    batch_now
-                };
-                let ready = submit.max(self.die_free_us[d]);
-                if best.is_none_or(|(r, _, _)| ready < r) {
-                    best = Some((ready, submit, d));
-                }
-            }
-            let (ready, submit, d) = best.expect("work remains while total not reached");
-            let ch = self.config.topology.channel_of(d as u32) as usize;
-            let item = &mut execs[d].execs[next[d]];
-            let start = ready.max(self.chan_free_us[ch]);
-            let complete = start + item.service_us;
-            self.chan_free_us[ch] = start + self.config.timing.xfer_us.min(item.service_us);
-            self.die_free_us[d] = complete;
-            let window = &mut self.inflight[d];
-            window.push_back(complete);
-            if window.len() > qd {
-                window.pop_front();
-            }
-            self.die_ops[d] += 1;
-            self.die_busy_us[d] += item.service_us;
-            self.die_background_us[d] += item.background_us;
-            self.latencies.push(complete - submit);
-            match item.kind {
-                ReqKind::Read => {
-                    self.reads += 1;
-                    if matches!(item.result, Err(FtlError::NotWritten { .. })) {
-                        self.reads_not_written += 1;
-                    }
-                }
-                ReqKind::Write => {
-                    self.writes += 1;
-                    if item.result.is_err() {
-                        self.writes_failed += 1;
-                    }
-                }
-            }
-            if complete > self.sim_end_us {
-                self.sim_end_us = complete;
-            }
-            completions.push(IoCompletion {
-                id: item.id,
-                kind: item.kind,
-                lpa: item.lpa,
-                die: d as u32,
-                submit_us: submit,
-                start_us: start,
-                complete_us: complete,
-                corrected_errors: item.corrected,
-                result: item.result.clone(),
-                data: item.data.take(),
-            });
-            next[d] += 1;
+        let total: usize = execs.iter().map(|e| e.timing.len()).sum();
+        if total == 0 {
+            return 0;
         }
-        completions.sort_by(|a, b| a.complete_us.total_cmp(&b.complete_us).then(a.id.cmp(&b.id)));
+        self.latencies.reserve(total);
+        let mut completions: Vec<IoCompletion> = Vec::with_capacity(if emit { total } else { 0 });
+        let ready_of = |window: &Window, die_free: f64| -> (f64, f64) {
+            let submit = match window.front_if_full() {
+                Some(front) => front.max(batch_now),
+                None => batch_now,
+            };
+            (submit.max(die_free), submit)
+        };
+        // Channels share no timing state, so each channel's contiguous die
+        // range dispatches independently: the argmin spans dies_per_channel
+        // entries instead of the whole array, and the channel-slot clock
+        // lives in a register. Within a channel, ties pick the lowest die
+        // index, exactly as a global rescan would; cross-channel
+        // interleaving cannot change any per-die or order-insensitive
+        // global statistic, and the completion sort below restores one
+        // global time order.
+        let dpc = self.config.topology.dies_per_channel as usize;
+        for ch in 0..self.chan_free_us.len() {
+            let lo = ch * dpc;
+            let hi = (lo + dpc).min(nd);
+            let span = hi - lo;
+            let chan_total: usize = execs[lo..hi].iter().map(|e| e.timing.len()).sum();
+            if chan_total == 0 {
+                continue;
+            }
+            let mut chan_free = self.chan_free_us[ch];
+            let mut next = vec![0usize; span];
+            let mut ready_cache: Vec<(f64, f64)> = (lo..hi)
+                .map(|d| {
+                    if execs[d].timing.is_empty() {
+                        (f64::INFINITY, batch_now)
+                    } else {
+                        ready_of(&self.inflight[d], self.die_free_us[d])
+                    }
+                })
+                .collect();
+            for _ in 0..chan_total {
+                let mut j = 0usize;
+                for i in 1..span {
+                    if ready_cache[i].0 < ready_cache[j].0 {
+                        j = i;
+                    }
+                }
+                let d = lo + j;
+                let (ready, submit) = ready_cache[j];
+                debug_assert!(ready.is_finite(), "work remains while total not reached");
+                let item = execs[d].timing[next[j]];
+                let start = ready.max(chan_free);
+                let complete = start + item.service_us;
+                chan_free = start + self.config.timing.xfer_us.min(item.service_us);
+                self.die_free_us[d] = complete;
+                self.inflight[d].push(complete);
+                self.latencies.push(complete - submit);
+                if complete > self.sim_end_us {
+                    self.sim_end_us = complete;
+                }
+                if emit {
+                    let rich = &mut execs[d].rich[next[j]];
+                    completions.push(IoCompletion {
+                        id: rich.id,
+                        kind: if item.flags & FLAG_WRITE != 0 {
+                            ReqKind::Write
+                        } else {
+                            ReqKind::Read
+                        },
+                        lpa: rich.lpa,
+                        die: d as u32,
+                        submit_us: submit,
+                        start_us: start,
+                        complete_us: complete,
+                        corrected_errors: rich.corrected,
+                        result: std::mem::replace(&mut rich.result, Ok(())),
+                        data: rich.data.take(),
+                    });
+                }
+                next[j] += 1;
+                ready_cache[j] = if next[j] >= execs[d].timing.len() {
+                    (f64::INFINITY, batch_now)
+                } else {
+                    ready_of(&self.inflight[d], self.die_free_us[d])
+                };
+            }
+            self.chan_free_us[ch] = chan_free;
+        }
+        completions
+            .sort_unstable_by(|a, b| a.complete_us.total_cmp(&b.complete_us).then(a.id.cmp(&b.id)));
         for c in completions {
             self.cq.push(c);
         }
@@ -465,15 +596,61 @@ impl<P: ControllerPolicy + Send> Engine<P> {
         ops: I,
         threads: usize,
     ) -> EngineStats {
+        self.prepare_replay(ops);
+        self.run_prepared(threads, true);
+        self.stats()
+    }
+
+    /// Distributes pending submissions plus the trace straight into the
+    /// per-die work arena — one pass, no intermediate submission-queue
+    /// records. Order (and thus ids, digests, timing) is identical to
+    /// `submit`-then-`run`.
+    fn prepare_replay<I: IntoIterator<Item = TraceOp>>(&mut self, ops: I) {
         let logical = self.logical_pages();
+        for w in &mut self.work {
+            w.clear();
+        }
+        for req in self.sq.drain() {
+            let (die, die_lpa) = self.config.topology.stripe(req.lpa);
+            self.work[die as usize].push(WorkItem { id: req.id, kind: req.kind, die_lpa });
+        }
+        // Reciprocal-multiply divisions: the trace loop folds every op's
+        // lpa into the logical space and stripes it across dies, and two
+        // hardware divides per op are measurable at billion-op scale.
+        let logical_div = FastDiv::new(logical);
+        let die_div = FastDiv::new(u64::from(self.config.topology.dies()));
+        let ops = ops.into_iter();
+        // Striping spreads a trace near-uniformly; reserving the per-die
+        // arenas up front keeps the first replay off the realloc path.
+        let hint = ops.size_hint().0 / self.work.len().max(1);
+        for w in &mut self.work {
+            w.reserve(hint + hint / 8);
+        }
         for op in ops {
             let kind = match op.kind {
                 OpKind::Read => ReqKind::Read,
                 OpKind::Write => ReqKind::Write,
             };
-            self.submit(kind, op.lpa % logical);
+            let (_, lpa) = logical_div.div_rem(op.lpa);
+            let id = self.next_id;
+            self.next_id += 1;
+            let (die_lpa, die) = die_div.div_rem(lpa);
+            self.work[die as usize].push(WorkItem { id, kind, die_lpa });
         }
-        self.run(threads);
+    }
+
+    /// [`Engine::replay`] without per-request completion records: identical
+    /// flash execution, timing, digest, and statistics, but the completion
+    /// queue stays empty. This is the bulk-replay entry point — at
+    /// billion-op trace scale the [`IoCompletion`] build/sort/queue cost
+    /// dominates the analytic tiers, and a stats-only replay skips it.
+    pub fn replay_stats_only<I: IntoIterator<Item = TraceOp>>(
+        &mut self,
+        ops: I,
+        threads: usize,
+    ) -> EngineStats {
+        self.prepare_replay(ops);
+        self.run_prepared(threads, false);
         self.stats()
     }
 }
@@ -489,6 +666,32 @@ fn resolve_threads(requested: usize, dies: usize) -> usize {
     t.clamp(1, dies.max(1))
 }
 
+/// Exact unsigned division by a fixed divisor via one reciprocal multiply:
+/// `m = floor(u64::MAX / d)` underestimates the true quotient by at most 1
+/// for any 64-bit dividend, so a single conditional fix-up after the
+/// high-half multiply restores `(n / d, n % d)` exactly.
+struct FastDiv {
+    d: u64,
+    m: u64,
+}
+
+impl FastDiv {
+    fn new(d: u64) -> Self {
+        Self { d, m: u64::MAX / d }
+    }
+
+    #[inline]
+    fn div_rem(&self, n: u64) -> (u64, u64) {
+        let mut q = ((u128::from(n) * u128::from(self.m)) >> 64) as u64;
+        let mut r = n - q * self.d;
+        if r >= self.d {
+            q += 1;
+            r -= self.d;
+        }
+        (q, r)
+    }
+}
+
 /// Flash phase: each die executes its work list in order. With more than one
 /// worker the die set is chunked over scoped threads; dies share no state,
 /// so any chunking yields identical results.
@@ -499,17 +702,20 @@ fn execute_dies<P: ControllerPolicy + Send>(
     capture: bool,
     start_digests: &[u64],
     threads: usize,
+    emit: bool,
 ) -> Vec<DieExec> {
-    let mut units: Vec<(&mut Die<P>, &[WorkItem], u64)> = dies
+    let nd = dies.len() as u64;
+    let mut units: Vec<(u64, &mut Die<P>, &[WorkItem], u64)> = dies
         .iter_mut()
         .zip(work.iter())
         .zip(start_digests.iter())
-        .map(|((die, w), &dg)| (die, w.as_slice(), dg))
+        .enumerate()
+        .map(|(d, ((die, w), &dg))| (d as u64, die, w.as_slice(), dg))
         .collect();
     if threads <= 1 {
         return units
             .iter_mut()
-            .map(|(die, w, dg)| execute_die(die, w, timing, capture, *dg))
+            .map(|(d, die, w, dg)| execute_die(die, w, timing, capture, *dg, emit, *d, nd))
             .collect();
     }
     let chunk = units.len().div_ceil(threads);
@@ -519,7 +725,9 @@ fn execute_dies<P: ControllerPolicy + Send>(
             .map(|c| {
                 s.spawn(move || {
                     c.iter_mut()
-                        .map(|(die, w, dg)| execute_die(die, w, timing, capture, *dg))
+                        .map(|(d, die, w, dg)| {
+                            execute_die(die, w, timing, capture, *dg, emit, *d, nd)
+                        })
                         .collect::<Vec<_>>()
                 })
             })
@@ -531,28 +739,48 @@ fn execute_dies<P: ControllerPolicy + Send>(
 /// Executes one die's work list, measuring per-request service time from the
 /// timing constants plus the controller-counter delta (background GC/refresh
 /// relocations and erases the request triggered).
+#[allow(clippy::too_many_arguments)]
 fn execute_die<P: ControllerPolicy>(
     die: &mut Die<P>,
     work: &[WorkItem],
     timing: &Timing,
     capture: bool,
     start_digest: u64,
+    emit: bool,
+    die_index: u64,
+    dies: u64,
 ) -> DieExec {
-    let mut execs = Vec::with_capacity(work.len());
+    let mut timing_recs = Vec::with_capacity(work.len());
+    let mut rich = Vec::with_capacity(if emit { work.len() } else { 0 });
     let mut digest = start_digest;
+    let mut background_total = 0.0f64;
+    let mut busy_total = 0.0f64;
+    let (mut reads, mut writes, mut reads_not_written, mut writes_failed) =
+        (0u64, 0u64, 0u64, 0u64);
+    // The billable counters are monotone, so each request's delta runs from
+    // the previous request's snapshot — one extraction per op, not two.
+    let mut before = crate::timing::background_counters(die.stats_ref());
     for item in work {
-        let before = die.stats();
         let (result, corrected, data) = match item.kind {
             ReqKind::Read => match die.read(item.die_lpa) {
                 Ok(r) => {
-                    digest = fnv1a(digest, &r.data);
+                    // Payload-carrying tiers digest the decoded bytes; the
+                    // aggregate tier carries no payload, so its digest folds
+                    // the corrected-error count (the read's full information
+                    // content) in one xor-multiply round — order- and
+                    // value-sensitive, without the per-byte hash walk.
+                    if r.data.is_empty() {
+                        digest = (digest ^ r.corrected_errors).wrapping_mul(0x0000_0100_0000_01B3);
+                    } else {
+                        digest = fnv1a(digest, &r.data);
+                    }
                     (Ok(()), r.corrected_errors, capture.then_some(r.data))
                 }
                 Err(e) => (Err(e), 0, None),
             },
             ReqKind::Write => (die.write(item.die_lpa), 0, None),
         };
-        let after = die.stats();
+        let after = crate::timing::background_counters(die.stats_ref());
         // Failed lookups (NotWritten / out-of-range) are answered from the
         // mapping table without touching the array: only a command slot.
         let base = match (item.kind, &result) {
@@ -562,20 +790,41 @@ fn execute_die<P: ControllerPolicy>(
             (ReqKind::Write, Ok(())) => timing.write_service_us(),
             _ => timing.xfer_us,
         };
-        let background_us = timing.background_us(&before, &after);
+        let background_us = timing.background_us_between(before, after);
+        before = after;
+        background_total += background_us;
         let service_us = base + background_us;
-        execs.push(Exec {
-            id: item.id,
-            kind: item.kind,
-            lpa: item.lpa,
-            service_us,
-            background_us,
-            corrected,
-            result,
-            data,
-        });
+        let flags = match item.kind {
+            ReqKind::Read => {
+                reads += 1;
+                let missed = matches!(result, Err(FtlError::NotWritten { .. }));
+                reads_not_written += u64::from(missed);
+                u8::from(missed) * FLAG_NOT_WRITTEN
+            }
+            ReqKind::Write => {
+                writes += 1;
+                writes_failed += u64::from(result.is_err());
+                FLAG_WRITE | (u8::from(result.is_err()) * FLAG_WRITE_FAILED)
+            }
+        };
+        busy_total += service_us;
+        timing_recs.push(ExecTiming { service_us, flags });
+        if emit {
+            let lpa = item.die_lpa * dies + die_index;
+            rich.push(ExecRich { id: item.id, lpa, corrected, result, data });
+        }
     }
-    DieExec { execs, digest }
+    DieExec {
+        timing: timing_recs,
+        rich,
+        digest,
+        background_us: background_total,
+        busy_us: busy_total,
+        reads,
+        writes,
+        reads_not_written,
+        writes_failed,
+    }
 }
 
 #[cfg(test)]
@@ -713,6 +962,24 @@ mod tests {
         let stats = engine.stats();
         assert!(stats.per_die[0].ssd.reclaims >= 1, "reclaim never fired on die 0");
         assert_eq!(stats.per_die[1].ssd.reclaims, 0, "idle die reclaimed");
+    }
+
+    #[test]
+    fn stats_only_replay_matches_full_replay() {
+        let ops: Vec<TraceOp> = (0..200u64)
+            .map(|i| TraceOp {
+                time_s: i as f64,
+                kind: if i % 3 == 0 { OpKind::Read } else { OpKind::Write },
+                lpa: i * 7,
+            })
+            .collect();
+        let mut full = Engine::new(EngineConfig::small_test()).unwrap();
+        let mut lean = Engine::new(EngineConfig::small_test()).unwrap();
+        let a = full.replay(ops.iter().copied(), 2);
+        let b = lean.replay_stats_only(ops.iter().copied(), 2);
+        assert_eq!(a, b, "stats-only replay must be statistically identical");
+        assert_eq!(full.drain_completions().len(), ops.len());
+        assert!(lean.drain_completions().is_empty(), "stats-only replay emits no completions");
     }
 
     #[test]

@@ -103,12 +103,30 @@ impl EngineStats {
 
 /// The `q`-quantile (0..=1) of a latency sample by nearest-rank on a sorted
 /// copy. Returns 0 for an empty sample.
+#[cfg(test)]
 pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
     let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
     sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Nearest-rank p50 and p99 of an (unsorted) latency sample via two O(n)
+/// order-statistic selections — the same values [`percentile`] reads off a
+/// fully sorted copy, without the sort. Returns zeros for an empty sample.
+pub(crate) fn percentiles_50_99(sample: &[f64]) -> (f64, f64) {
+    if sample.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut scratch = sample.to_vec();
+    let last = scratch.len() - 1;
+    let i50 = (last as f64 * 0.50).round() as usize;
+    let i99 = (last as f64 * 0.99).round() as usize;
+    let (lower, p99, _) = scratch.select_nth_unstable_by(i99, f64::total_cmp);
+    let p99 = *p99;
+    let p50 = if i50 == i99 { p99 } else { *lower.select_nth_unstable_by(i50, f64::total_cmp).1 };
+    (p50, p99)
 }
 
 /// FNV-1a offset basis (the digest's initial state).
@@ -191,6 +209,29 @@ mod tests {
         assert!((percentile(&v, 0.5) - 51.0).abs() < 1.01);
         assert!(percentile(&v, 0.99) >= 98.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn selection_percentiles_match_sorted_nearest_rank() {
+        // Deterministic pseudo-random sample (LCG), checked at several sizes
+        // including the tiny ones where the two rank indices coincide.
+        for n in [1usize, 2, 3, 7, 100, 1013] {
+            let mut x = 0x2545_f491_4f6c_dd1du64;
+            let sample: Vec<f64> = (0..n)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1_442_695_040_888_963_407);
+                    (x >> 11) as f64
+                })
+                .collect();
+            let mut sorted = sample.clone();
+            sorted.sort_unstable_by(f64::total_cmp);
+            let (p50, p99) = percentiles_50_99(&sample);
+            assert_eq!(p50, percentile(&sorted, 0.50), "n = {n}");
+            assert_eq!(p99, percentile(&sorted, 0.99), "n = {n}");
+        }
+        assert_eq!(percentiles_50_99(&[]), (0.0, 0.0));
     }
 
     #[test]

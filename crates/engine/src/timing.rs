@@ -9,6 +9,27 @@
 
 use rd_ftl::SsdStats;
 
+/// The three controller-counter groups the timing model bills as background
+/// die time (relocation writes, erases, retry/probe reads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackgroundCounters {
+    /// GC + refresh + reclaim relocation writes.
+    pub relocations: u64,
+    /// Block erases.
+    pub erases: u64,
+    /// Recovery-ladder re-reads plus policy probe reads.
+    pub retry_reads: u64,
+}
+
+/// Extracts the background-billable counter groups from a stats block.
+pub fn background_counters(stats: &SsdStats) -> BackgroundCounters {
+    BackgroundCounters {
+        relocations: stats.gc_writes + stats.refresh_writes + stats.reclaim_writes,
+        erases: stats.erases,
+        retry_reads: stats.recovery_reads + stats.policy_probe_reads,
+    }
+}
+
 /// Per-command latencies in microseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Timing {
@@ -45,12 +66,25 @@ impl Timing {
     /// a tBERS, and every recovery-ladder re-read or policy probe read a
     /// tR — so retry escalations and tuning sweeps cost real engine time.
     pub fn background_us(&self, before: &SsdStats, after: &SsdStats) -> f64 {
-        let relocations = (after.gc_writes - before.gc_writes)
-            + (after.refresh_writes - before.refresh_writes)
-            + (after.reclaim_writes - before.reclaim_writes);
+        self.background_us_between(background_counters(before), background_counters(after))
+    }
+
+    /// [`Timing::background_us`] from two pre-extracted
+    /// [`background_counters`] snapshots — the replay hot loop uses this to
+    /// avoid copying the full stats block around every request.
+    pub fn background_us_between(
+        &self,
+        before: BackgroundCounters,
+        after: BackgroundCounters,
+    ) -> f64 {
+        // Most requests trigger no background work at all; three integer
+        // compares beat the float reconstruction on that path.
+        if before == after {
+            return 0.0;
+        }
+        let relocations = after.relocations - before.relocations;
         let erases = after.erases - before.erases;
-        let retry_reads = (after.recovery_reads - before.recovery_reads)
-            + (after.policy_probe_reads - before.policy_probe_reads);
+        let retry_reads = after.retry_reads - before.retry_reads;
         relocations as f64 * (self.read_us + self.program_us)
             + erases as f64 * self.erase_us
             + retry_reads as f64 * self.read_us

@@ -1,0 +1,696 @@
+//! Block-aggregate state: the [`crate::ReadFidelity::BlockAggregate`]
+//! backend of [`crate::Chip`].
+//!
+//! A block's error state is a closed-form function of its operating point
+//! (P/E cycles, reads-since-erase, retention age, Vpass), advanced lazily.
+//! The state is kept as a **struct-of-arrays** over all blocks of a die so
+//! the replay hot loop touches a handful of dense `Vec<f64>` lanes instead
+//! of pointer-chasing per-block objects, and the disturb accumulator is
+//! **fold-free**: every disturbing read adds `rd_slope(pe, vpass) ×
+//! hammer-weight` directly (the slope in effect *at the read* is applied
+//! immediately), so a Vpass change needs no counter folding and the
+//! accumulated damage history is exact by construction — numerically
+//! identical to the page-analytic tier's folded counters.
+//!
+//! Reads are served in one of two modes per block:
+//!
+//! * **fast-forward** (the common case): the rounded expected error count
+//!   is precomputed into a per-block summary together with a *horizon* —
+//!   the reads-since-erase count at which the summary could change (the
+//!   expectation grows by half a bit) or the ECC margin could plausibly be
+//!   crossed (computed analytically by inverting the saturating disturb
+//!   law). Until the horizon, a read is O(1): no RNG draw, no payload
+//!   allocation, no per-wordline work.
+//! * **live sampling**: once the block's error expectation comes within a
+//!   6-sigma-plus-slack band of the ECC margin (reported by the FTL via
+//!   [`crate::Chip::set_read_margin`]), or whenever the pass-through
+//!   blocking probability is nonzero (relaxed Vpass — policy probes must
+//!   see sampled blocked-bitline counts), reads sample error counts from
+//!   the same binomial the page-analytic tier uses.
+//!
+//! Payloads are not modeled at this tier: reads return empty data and the
+//! per-page intended bits are unavailable (`FidelityUnsupported`). Only
+//! error counts, blocked-bitline counts, and all per-block counters that
+//! drive mitigation policies are maintained.
+
+use rand::rngs::StdRng;
+
+use crate::analytic::AnalyticModel;
+use crate::analytic_block::{
+    gaussian_tail_floor_shifted, sample_binomial, RETRY_SHIFT_DECAY, RETRY_SHIFT_GAIN_CAP,
+};
+use crate::block::BlockStatus;
+use crate::chip::ReadOutcome;
+use crate::error::FlashError;
+use crate::params::{ChipParams, NOMINAL_VPASS};
+use crate::BitErrorStats;
+
+/// Extra slack (in error bits) added to the 6-sigma margin-proximity test.
+/// Binomial tails at sub-bit means are wider than the normal approximation
+/// suggests, so the band is padded before fast-forwarding is allowed.
+const MARGIN_SLACK_BITS: f64 = 2.0;
+
+/// Struct-of-arrays aggregate state for every block of one die.
+#[derive(Debug, Clone)]
+pub(crate) struct AggregateState {
+    wordlines: u32,
+    bitlines: u32,
+    /// Cached `AnalyticParams::rd_sat` (the model is fixed per chip).
+    rd_sat: f64,
+    /// Per-wordline hammer weight (geometry constant): the block-mean
+    /// disturb contribution of one read targeting that wordline, in units
+    /// of the per-read slope. Matches the page-analytic tier's
+    /// block-uniform + per-wordline-extra accounting averaged over the
+    /// block: `1 + (boost · neighbours − 1) / W`.
+    wl_weight: Vec<f64>,
+    /// Mean of [`Self::wl_weight`] — used to convert a disturb-linear gap
+    /// into a read-count horizon.
+    avg_weight: f64,
+
+    // ---- per-block lanes (index = block) ----
+    pe_cycles: Vec<u64>,
+    age_days: Vec<f64>,
+    reads_since_erase: Vec<u64>,
+    vpass: Vec<f64>,
+    /// Fold-free disturb-linear accumulator: `Σ slope(at read) · weight`.
+    lin: Vec<f64>,
+    /// Cached `rd_slope(pe, vpass)`.
+    slope: Vec<f64>,
+    /// Cached disturb-independent RBER: Gaussian tail floor + P/E noise +
+    /// retention at the current age.
+    static_rber: Vec<f64>,
+    /// Cached pass-through blocking probability at the current Vpass.
+    blocked_prob: Vec<f64>,
+    /// Cached rounded expected per-page error count (fast-forward serve).
+    summary_errors: Vec<u64>,
+    /// Reads-since-erase at which the summary must be recomputed.
+    summary_horizon: Vec<u64>,
+    /// Whether reads sample live (margin proximity; one-way until the next
+    /// invalidating event recomputes it).
+    sampling: Vec<bool>,
+
+    // ---- per-page lanes (index = block * pages_per_block + page) ----
+    programmed: Vec<bool>,
+    programmed_count: Vec<u32>,
+}
+
+impl AggregateState {
+    pub(crate) fn new(
+        blocks: u32,
+        wordlines: u32,
+        bitlines: u32,
+        params: &ChipParams,
+        model: &AnalyticModel,
+    ) -> Self {
+        let n = blocks as usize;
+        let w = wordlines as usize;
+        let wl_weight: Vec<f64> = (0..w)
+            .map(|wl| {
+                let neighbours = usize::from(wl > 0) + usize::from(wl + 1 < w);
+                1.0 + (params.rd_neighbor_boost * neighbours as f64 - 1.0) / w as f64
+            })
+            .collect();
+        let avg_weight = wl_weight.iter().sum::<f64>() / w as f64;
+        let mut state = Self {
+            wordlines,
+            bitlines,
+            rd_sat: model.params().rd_sat,
+            wl_weight,
+            avg_weight,
+            pe_cycles: vec![0; n],
+            age_days: vec![0.0; n],
+            reads_since_erase: vec![0; n],
+            vpass: vec![NOMINAL_VPASS; n],
+            lin: vec![0.0; n],
+            slope: vec![0.0; n],
+            static_rber: vec![0.0; n],
+            blocked_prob: vec![0.0; n],
+            summary_errors: vec![0; n],
+            summary_horizon: vec![0; n],
+            sampling: vec![false; n],
+            programmed: vec![false; n * w * 2],
+            programmed_count: vec![0; n],
+        };
+        for b in 0..n {
+            state.refresh_caches(params, model, b);
+        }
+        state
+    }
+
+    fn pages(&self) -> u32 {
+        self.wordlines * 2
+    }
+
+    fn check_page(&self, page: u32) -> Result<(), FlashError> {
+        if page >= self.pages() {
+            return Err(FlashError::PageOutOfRange { page, pages: self.pages() });
+        }
+        Ok(())
+    }
+
+    /// Recomputes the operating-point caches after any change to (pe, age,
+    /// vpass) and invalidates the fast-forward summary.
+    fn refresh_caches(&mut self, params: &ChipParams, model: &AnalyticModel, b: usize) {
+        let pe = self.pe_cycles[b];
+        self.slope[b] = model.rd_slope(pe, self.vpass[b]);
+        self.static_rber[b] = gaussian_tail_floor_shifted(params, pe, 0.0)
+            + model.rber_pe(pe)
+            + model.rber_retention(pe, self.age_days[b]);
+        self.blocked_prob[b] = 2.0 * model.rber_passthrough(pe, self.age_days[b], self.vpass[b]);
+        self.invalidate(b);
+    }
+
+    /// Forces a summary recomputation at the next read.
+    fn invalidate(&mut self, b: usize) {
+        self.summary_horizon[b] = 0;
+        self.sampling[b] = false;
+    }
+
+    /// Saturating disturb RBER term from the fold-free accumulator.
+    fn rd_term(&self, b: usize) -> f64 {
+        self.rd_sat * (self.lin[b].max(0.0) / self.rd_sat).ln_1p()
+    }
+
+    /// Closed-form per-bit RBER of the block (pass-through excluded — that
+    /// is realized as blocked bitlines at read time).
+    fn rber_block(&self, b: usize) -> f64 {
+        self.static_rber[b] + self.rd_term(b)
+    }
+
+    /// Recomputes the fast-forward summary: the rounded expected error
+    /// count, the live-sampling decision, and the read-count horizon at
+    /// which either could change.
+    fn refresh_summary(&mut self, margin: Option<u64>, b: usize) {
+        let bits = self.bitlines as f64;
+        let mean = self.rber_block(b) * bits;
+        self.summary_errors[b] = mean.round() as u64;
+        self.sampling[b] = match margin {
+            // Without a margin hint (standalone chip use) there is no safe
+            // fast-forward bound: always sample.
+            None => true,
+            Some(m) => mean + 6.0 * mean.sqrt() + MARGIN_SLACK_BITS >= m as f64,
+        };
+        if self.sampling[b] {
+            self.summary_horizon[b] = u64::MAX;
+            return;
+        }
+        // Next interesting event, as an expected-error target: the rounded
+        // summary steps (+0.5 bits), or the margin-proximity band opens.
+        let step_target = (self.summary_errors[b] as f64 + 0.5) / bits;
+        let margin_target = margin
+            .map(|m| {
+                // Solve mean + 6·sqrt(mean) + slack = m for mean.
+                let m = m as f64 - MARGIN_SLACK_BITS;
+                let y = (-6.0 + (36.0 + 4.0 * m).sqrt()) / 2.0;
+                (y * y).max(0.0) / bits
+            })
+            .unwrap_or(f64::INFINITY);
+        let p_target = step_target.min(margin_target);
+        let rd_target = p_target - self.static_rber[b];
+        let per_read = self.slope[b] * self.avg_weight;
+        self.summary_horizon[b] = if rd_target <= self.rd_term(b) {
+            // Already past the target (numerical edge): re-check shortly.
+            self.reads_since_erase[b].saturating_add(1)
+        } else if per_read <= 0.0 {
+            // Host reads cannot move the accumulator; only invalidating
+            // events (bulk disturbs, aging, Vpass) can, and they reset the
+            // horizon themselves.
+            u64::MAX
+        } else {
+            // Invert rd = rd_sat·ln(1 + lin/rd_sat) for the target lin.
+            let lin_target = self.rd_sat * ((rd_target / self.rd_sat).exp_m1());
+            let delta = ((lin_target - self.lin[b]) / per_read).ceil().max(1.0);
+            if delta.is_finite() && delta < 9.0e18 {
+                self.reads_since_erase[b].saturating_add(delta as u64)
+            } else {
+                u64::MAX
+            }
+        };
+    }
+
+    /// Samples one live read at the block's current operating point.
+    fn sample_outcome(&self, rng: &mut StdRng, p_err: f64) -> ReadOutcome {
+        let n = self.bitlines as u64;
+        let flips = sample_binomial(rng, n, p_err.min(1.0));
+        ReadOutcome {
+            data: Vec::new(),
+            stats: BitErrorStats::new(flips.min(n), n),
+            blocked_bitlines: 0,
+        }
+    }
+
+    /// Overlays sampled pass-through blocking on a live outcome (each
+    /// blocked bitline senses as P3 and flips half its bits on average).
+    fn overlay_blocking(&self, rng: &mut StdRng, b: usize, outcome: &mut ReadOutcome) {
+        let p_block = self.blocked_prob[b];
+        if p_block <= 0.0 {
+            return;
+        }
+        let n = self.bitlines as u64;
+        let blocked = sample_binomial(rng, n, p_block.min(1.0));
+        let blocked_errs = sample_binomial(rng, blocked, 0.5);
+        outcome.blocked_bitlines = blocked;
+        outcome.stats = BitErrorStats::new((outcome.stats.errors + blocked_errs).min(n), n);
+    }
+
+    /// Serves a page read. Fast-forward mode costs O(1) with no RNG draw;
+    /// live mode samples from the same binomial as the page-analytic tier.
+    pub(crate) fn read_page(
+        &mut self,
+        rng: &mut StdRng,
+        margin: Option<u64>,
+        block: usize,
+        page: u32,
+        disturb: bool,
+    ) -> Result<ReadOutcome, FlashError> {
+        self.check_page(page)?;
+        if disturb {
+            self.lin[block] += self.slope[block] * self.wl_weight[(page / 2) as usize];
+            self.reads_since_erase[block] += 1;
+        }
+        if self.reads_since_erase[block] >= self.summary_horizon[block] {
+            self.refresh_summary(margin, block);
+        }
+        if self.sampling[block] || self.blocked_prob[block] > 0.0 {
+            let mut outcome = self.sample_outcome(rng, self.rber_block(block));
+            self.overlay_blocking(rng, block, &mut outcome);
+            return Ok(outcome);
+        }
+        let n = self.bitlines as u64;
+        Ok(ReadOutcome {
+            data: Vec::new(),
+            stats: BitErrorStats::new(self.summary_errors[block].min(n), n),
+            blocked_bitlines: 0,
+        })
+    }
+
+    /// Read-retry sample at a uniform reference shift — always sampled
+    /// (recovery-ladder entry is a fast-forward event). The shift response
+    /// matches the page-analytic tier: the misclassification floor follows
+    /// the shifted references, the disturb component decays with a positive
+    /// shift and the retention component grows by the mirror factor.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn read_page_shifted(
+        &mut self,
+        params: &ChipParams,
+        model: &AnalyticModel,
+        rng: &mut StdRng,
+        block: usize,
+        page: u32,
+        shift: f64,
+        disturb: bool,
+    ) -> Result<ReadOutcome, FlashError> {
+        self.check_page(page)?;
+        if disturb {
+            self.lin[block] += self.slope[block] * self.wl_weight[(page / 2) as usize];
+            self.reads_since_erase[block] += 1;
+        }
+        let pe = self.pe_cycles[block];
+        let rd_factor = (-shift / RETRY_SHIFT_DECAY).exp().min(RETRY_SHIFT_GAIN_CAP);
+        let ret_factor = (shift / RETRY_SHIFT_DECAY).exp().min(RETRY_SHIFT_GAIN_CAP);
+        let p_err = gaussian_tail_floor_shifted(params, pe, shift)
+            + model.rber_pe(pe)
+            + model.rber_retention(pe, self.age_days[block]) * ret_factor
+            + self.rd_term(block) * rd_factor;
+        let mut outcome = self.sample_outcome(rng, p_err);
+        self.overlay_blocking(rng, block, &mut outcome);
+        Ok(outcome)
+    }
+
+    pub(crate) fn program_page(
+        &mut self,
+        params: &ChipParams,
+        model: &AnalyticModel,
+        block: usize,
+        page: u32,
+        data: &[u8],
+    ) -> Result<(), FlashError> {
+        self.check_page(page)?;
+        let idx = block * self.pages() as usize + page as usize;
+        if self.programmed[idx] {
+            return Err(FlashError::PageAlreadyProgrammed { page });
+        }
+        // Payloads are not modeled: an empty slice is the canonical write at
+        // this tier, but real data is accepted (and dropped) so tier-generic
+        // callers keep working — length-checked when present.
+        if !data.is_empty() && data.len() * 8 != self.bitlines as usize {
+            return Err(FlashError::DataLengthMismatch {
+                got: data.len() * 8,
+                expected: self.bitlines as usize,
+            });
+        }
+        if self.programmed_count[block] == 0 {
+            // Writing into a fully-erased block starts a fresh retention
+            // period (same rule as the other tiers).
+            self.age_days[block] = 0.0;
+            self.refresh_caches(params, model, block);
+        }
+        self.programmed[idx] = true;
+        self.programmed_count[block] += 1;
+        Ok(())
+    }
+
+    pub(crate) fn is_page_programmed(&self, block: usize, page: u32) -> bool {
+        self.programmed.get(block * self.pages() as usize + page as usize).copied().unwrap_or(false)
+    }
+
+    fn reset_after_erase(&mut self, block: usize) {
+        self.age_days[block] = 0.0;
+        self.reads_since_erase[block] = 0;
+        self.lin[block] = 0.0;
+        let pages = self.pages() as usize;
+        self.programmed[block * pages..(block + 1) * pages].fill(false);
+        self.programmed_count[block] = 0;
+    }
+
+    pub(crate) fn erase(&mut self, params: &ChipParams, model: &AnalyticModel, block: usize) {
+        self.pe_cycles[block] += 1;
+        self.reset_after_erase(block);
+        self.refresh_caches(params, model, block);
+    }
+
+    pub(crate) fn pre_wear(
+        &mut self,
+        params: &ChipParams,
+        model: &AnalyticModel,
+        block: usize,
+        cycles: u64,
+    ) {
+        self.pe_cycles[block] += cycles;
+        self.reset_after_erase(block);
+        self.refresh_caches(params, model, block);
+    }
+
+    /// In-place refresh: rewrite the same data (one P/E cycle), resetting
+    /// age, reads, and disturb dose while keeping pages programmed.
+    pub(crate) fn refresh_in_place(
+        &mut self,
+        params: &ChipParams,
+        model: &AnalyticModel,
+        block: usize,
+    ) {
+        let count = self.programmed_count[block];
+        let pages = self.pages() as usize;
+        let saved: Vec<bool> = self.programmed[block * pages..(block + 1) * pages].to_vec();
+        self.pe_cycles[block] += 1;
+        self.reset_after_erase(block);
+        self.programmed[block * pages..(block + 1) * pages].copy_from_slice(&saved);
+        self.programmed_count[block] = count;
+        self.refresh_caches(params, model, block);
+    }
+
+    pub(crate) fn advance_days(
+        &mut self,
+        params: &ChipParams,
+        model: &AnalyticModel,
+        block: usize,
+        days: f64,
+    ) {
+        assert!(days >= 0.0, "time flows forward");
+        self.age_days[block] += days;
+        self.refresh_caches(params, model, block);
+    }
+
+    pub(crate) fn vpass(&self, block: usize) -> f64 {
+        self.vpass[block]
+    }
+
+    /// Applies a new Vpass. Fold-free: the accumulator already carries the
+    /// slope in effect at each past read, so no counter folding is needed —
+    /// only the forward-looking caches change.
+    pub(crate) fn set_vpass(
+        &mut self,
+        params: &ChipParams,
+        model: &AnalyticModel,
+        block: usize,
+        vpass: f64,
+    ) -> Result<(), FlashError> {
+        if !(params.min_vpass..=NOMINAL_VPASS).contains(&vpass) {
+            return Err(FlashError::VpassOutOfRange {
+                requested: vpass,
+                min: params.min_vpass,
+                max: NOMINAL_VPASS,
+            });
+        }
+        self.vpass[block] = vpass;
+        self.refresh_caches(params, model, block);
+        Ok(())
+    }
+
+    /// Uniformly spread reads: block-level disturb only (matches the other
+    /// tiers' `apply_read_disturbs`).
+    pub(crate) fn apply_read_disturbs(&mut self, block: usize, n: u64) {
+        self.lin[block] += self.slope[block] * n as f64;
+        self.reads_since_erase[block] += n;
+        self.invalidate(block);
+    }
+
+    /// Reads concentrated on one wordline. The aggregate tier keeps no
+    /// per-wordline error state, so the hammer folds into the block mean at
+    /// the wordline's geometry weight.
+    pub(crate) fn hammer_wordline(&mut self, block: usize, wordline: u32, n: u64) {
+        assert!(wordline < self.wordlines, "wordline out of range");
+        self.lin[block] += self.slope[block] * self.wl_weight[wordline as usize] * n as f64;
+        self.reads_since_erase[block] += n;
+        self.invalidate(block);
+    }
+
+    pub(crate) fn status(&self, block: usize) -> BlockStatus {
+        BlockStatus {
+            pe_cycles: self.pe_cycles[block],
+            reads_since_erase: self.reads_since_erase[block],
+            age_days: self.age_days[block],
+            vpass: self.vpass[block],
+            programmed_pages: self.programmed_count[block],
+            dose: self.lin[block].max(0.0),
+        }
+    }
+
+    /// Closed-form expected RBER of one wordline's programmed pages
+    /// (pass-through errors included), rounded to whole bits. All wordlines
+    /// of a block share the aggregate operating point.
+    pub(crate) fn rber_wordline_oracle(&self, block: usize, wordline: u32) -> BitErrorStats {
+        let base = block * self.pages() as usize;
+        let lsb_on = self.programmed[base + (wordline * 2) as usize];
+        let msb_on = self.programmed[base + (wordline * 2 + 1) as usize];
+        let pages = u64::from(lsb_on) + u64::from(msb_on);
+        if pages == 0 {
+            return BitErrorStats::default();
+        }
+        let bits = pages * self.bitlines as u64;
+        let p = self.rber_block(block) + 0.5 * self.blocked_prob[block];
+        BitErrorStats::new((p * bits as f64).round() as u64, bits)
+    }
+
+    /// Closed-form expected RBER over all programmed pages of the block,
+    /// unrounded: `(expected error bits, total bits)`.
+    pub(crate) fn rber_expectation(&self, block: usize) -> (f64, u64) {
+        let bits = self.programmed_count[block] as u64 * self.bitlines as u64;
+        let p = self.rber_block(block) + 0.5 * self.blocked_prob[block];
+        (p * bits as f64, bits)
+    }
+
+    /// Closed-form expected RBER, rounded to whole bits (the
+    /// [`BitErrorStats`] oracle shape).
+    pub(crate) fn rber_oracle(&self, block: usize) -> BitErrorStats {
+        let (expected, bits) = self.rber_expectation(block);
+        BitErrorStats::new(expected.round() as u64, bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn setup() -> (AggregateState, ChipParams, AnalyticModel, StdRng) {
+        let params = ChipParams::default();
+        let model = AnalyticModel::from_chip(&params, 8);
+        let state = AggregateState::new(2, 8, 1024, &params, &model);
+        (state, params, model, StdRng::seed_from_u64(7))
+    }
+
+    fn program_all(state: &mut AggregateState, params: &ChipParams, model: &AnalyticModel) {
+        for page in 0..16 {
+            state.program_page(params, model, 0, page, &[]).unwrap();
+        }
+    }
+
+    #[test]
+    fn fast_forward_reads_touch_no_rng() {
+        let (mut state, params, model, mut rng) = setup();
+        program_all(&mut state, &params, &model);
+        // Fresh block, wide margin: every read must be served cached.
+        let margin = Some(40u64);
+        let before = rng.clone();
+        for i in 0..10_000u64 {
+            let out = state.read_page(&mut rng, margin, 0, (i % 16) as u32, true).unwrap();
+            assert!(out.data.is_empty());
+            assert_eq!(out.blocked_bitlines, 0);
+        }
+        // The RNG stream must be untouched by fast-forward reads.
+        let mut a = before;
+        assert_eq!(
+            rand::Rng::gen::<u64>(&mut a),
+            rand::Rng::gen::<u64>(&mut rng),
+            "fast-forward reads consumed RNG draws"
+        );
+        assert_eq!(state.status(0).reads_since_erase, 10_000);
+        assert!(state.status(0).dose > 0.0);
+    }
+
+    #[test]
+    fn no_margin_hint_always_samples() {
+        let (mut state, params, model, mut rng) = setup();
+        program_all(&mut state, &params, &model);
+        let before = rng.clone();
+        state.read_page(&mut rng, None, 0, 0, true).unwrap();
+        let mut a = before;
+        assert_ne!(
+            rand::Rng::gen::<u64>(&mut a),
+            rand::Rng::gen::<u64>(&mut rng),
+            "margin-less reads must sample live"
+        );
+    }
+
+    #[test]
+    fn margin_proximity_switches_to_live_sampling() {
+        let (mut state, params, model, mut rng) = setup();
+        state.pre_wear(&params, &model, 0, 8_000);
+        program_all(&mut state, &params, &model);
+        state.apply_read_disturbs(0, 2_000_000);
+        // Expected errors now approach/exceed a tight margin: must sample.
+        let out = state.read_page(&mut rng, Some(4), 0, 0, false).unwrap();
+        assert!(state.sampling[0], "worn+disturbed block must leave fast-forward mode");
+        let _ = out;
+    }
+
+    #[test]
+    fn summary_tracks_expectation_across_horizons() {
+        let (mut state, params, model, mut rng) = setup();
+        state.pre_wear(&params, &model, 0, 8_000);
+        program_all(&mut state, &params, &model);
+        // Wide margin keeps the block in fast-forward mode; the served
+        // count must track the closed-form expectation within rounding.
+        for _ in 0..200_000u64 {
+            let out = state.read_page(&mut rng, Some(10_000), 0, 0, true).unwrap();
+            let expect = state.rber_block(0) * 1024.0;
+            let served = out.stats.errors as f64;
+            assert!(
+                (served - expect).abs() <= 1.0,
+                "served {served} drifted from expectation {expect:.2}"
+            );
+        }
+        assert!(state.rber_block(0) > state.static_rber[0], "disturb must accumulate");
+    }
+
+    #[test]
+    fn matches_analytic_uniform_disturb_closed_form() {
+        let (mut state, params, model, _) = setup();
+        let mut analytic = crate::analytic_block::AnalyticBlock::new(8, 1024);
+        analytic.pre_wear(8_000);
+        state.pre_wear(&params, &model, 0, 8_000);
+        program_all(&mut state, &params, &model);
+        let mut rng = StdRng::seed_from_u64(9);
+        for page in 0..16 {
+            let data = crate::bits::random(&mut rng, 1024);
+            analytic.program_page(page, &data).unwrap();
+        }
+        analytic.apply_read_disturbs(500_000);
+        state.apply_read_disturbs(0, 500_000);
+        let (ae, ab) = analytic.rber_expectation(&params, &model);
+        let (ge, gb) = state.rber_expectation(0);
+        assert_eq!(ab, gb);
+        let rel = (ge / ae - 1.0).abs();
+        assert!(rel < 1e-9, "uniform-disturb closed forms diverged: {ge} vs {ae}");
+    }
+
+    #[test]
+    fn relaxed_vpass_forces_sampled_blocking() {
+        let (mut state, params, model, mut rng) = setup();
+        program_all(&mut state, &params, &model);
+        state.set_vpass(&params, &model, 0, params.min_vpass).unwrap();
+        let mut blocked = 0u64;
+        for _ in 0..64 {
+            blocked +=
+                state.read_page(&mut rng, Some(1_000), 0, 0, false).unwrap().blocked_bitlines;
+        }
+        assert!(blocked > 0, "expected sampled blocking at minimum Vpass");
+        state.set_vpass(&params, &model, 0, NOMINAL_VPASS).unwrap();
+        let out = state.read_page(&mut rng, Some(1_000), 0, 0, false).unwrap();
+        assert_eq!(out.blocked_bitlines, 0);
+        assert!(matches!(
+            state.set_vpass(&params, &model, 0, 0.5 * NOMINAL_VPASS),
+            Err(FlashError::VpassOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn shifted_retry_recovers_disturb_errors() {
+        let (mut state, params, model, mut rng) = setup();
+        state.pre_wear(&params, &model, 0, 10_000);
+        program_all(&mut state, &params, &model);
+        state.apply_read_disturbs(0, 3_000_000);
+        let sum = |state: &mut AggregateState, rng: &mut StdRng, shift: f64| -> u64 {
+            (0..32)
+                .map(|_| {
+                    state
+                        .read_page_shifted(&params, &model, rng, 0, 0, shift, false)
+                        .unwrap()
+                        .stats
+                        .errors
+                })
+                .sum()
+        };
+        let base = sum(&mut state, &mut rng, 0.0);
+        let raised = sum(&mut state, &mut rng, 12.0);
+        assert!(
+            raised < base,
+            "positive retry shift must recover disturb errors ({raised} !< {base})"
+        );
+    }
+
+    #[test]
+    fn program_and_erase_semantics_match_other_tiers() {
+        let (mut state, params, model, _) = setup();
+        state.program_page(&params, &model, 0, 3, &[]).unwrap();
+        assert!(state.is_page_programmed(0, 3));
+        assert!(matches!(
+            state.program_page(&params, &model, 0, 3, &[]),
+            Err(FlashError::PageAlreadyProgrammed { page: 3 })
+        ));
+        assert!(matches!(
+            state.program_page(&params, &model, 0, 99, &[]),
+            Err(FlashError::PageOutOfRange { .. })
+        ));
+        assert!(matches!(
+            state.program_page(&params, &model, 0, 4, &[0u8; 3]),
+            Err(FlashError::DataLengthMismatch { .. })
+        ));
+        state.apply_read_disturbs(0, 1_000);
+        state.advance_days(&params, &model, 0, 3.0);
+        state.erase(&params, &model, 0);
+        let st = state.status(0);
+        assert_eq!(st.pe_cycles, 1);
+        assert_eq!(st.reads_since_erase, 0);
+        assert_eq!(st.age_days, 0.0);
+        assert_eq!(st.dose, 0.0);
+        assert_eq!(st.programmed_pages, 0);
+    }
+
+    #[test]
+    fn refresh_in_place_keeps_data_and_resets_wear_state() {
+        let (mut state, params, model, _) = setup();
+        program_all(&mut state, &params, &model);
+        state.apply_read_disturbs(0, 10_000);
+        state.advance_days(&params, &model, 0, 5.0);
+        state.refresh_in_place(&params, &model, 0);
+        let st = state.status(0);
+        assert_eq!(st.pe_cycles, 1);
+        assert_eq!(st.reads_since_erase, 0);
+        assert_eq!(st.age_days, 0.0);
+        assert_eq!(st.dose, 0.0);
+        assert_eq!(st.programmed_pages, 16);
+        assert!(state.is_page_programmed(0, 0));
+    }
+}

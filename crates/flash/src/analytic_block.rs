@@ -74,12 +74,12 @@ pub(crate) fn gaussian_tail_floor_shifted(params: &ChipParams, pe_cycles: u64, s
 /// the drifted cells (errors decay); retention pulls P2/P3 downward, so the
 /// same raise moves the boundaries *into* the leaked cells (errors grow).
 /// The scale matches the default state sigma (≈10 normalized volts).
-const RETRY_SHIFT_DECAY: f64 = 10.0;
+pub(crate) const RETRY_SHIFT_DECAY: f64 = 10.0;
 
 /// Cap on the shift amplification factors: beyond a few decay lengths the
 /// shifted-floor term dominates anyway, and an unbounded exponential would
 /// just overflow the sampled error count.
-const RETRY_SHIFT_GAIN_CAP: f64 = 32.0;
+pub(crate) const RETRY_SHIFT_GAIN_CAP: f64 = 32.0;
 
 /// One flash block of the page-analytic chip model.
 #[derive(Debug, Clone)]
@@ -442,9 +442,9 @@ impl AnalyticBlock {
     }
 }
 
-/// Samples `Binomial(n, p)` deterministically from `rng`: exact Knuth
-/// Poisson inversion for small means (the common case — RBERs here are
-/// 1e-9..1e-2), a normal approximation for large ones. Always in `0..=n`.
+/// Samples `Binomial(n, p)` deterministically from `rng`: exact inverse-CDF
+/// from a single uniform draw for small means (the common case — RBERs here
+/// are 1e-9..1e-2), a normal approximation for large ones. Always in `0..=n`.
 pub(crate) fn sample_binomial(rng: &mut StdRng, n: u64, p: f64) -> u64 {
     if n == 0 || p <= 0.0 {
         return 0;
@@ -454,16 +454,10 @@ pub(crate) fn sample_binomial(rng: &mut StdRng, n: u64, p: f64) -> u64 {
     }
     let mean = n as f64 * p;
     if mean < 32.0 {
-        // Knuth: count multiplications of U(0,1) until the product drops
-        // below e^-mean. O(mean) draws.
-        let limit = (-mean).exp();
-        let mut k = 0u64;
-        let mut prod: f64 = rng.gen();
-        while prod > limit {
-            k += 1;
-            prod *= rng.gen::<f64>();
-        }
-        k.min(n)
+        // One RNG draw regardless of outcome (the former Knuth product
+        // inversion paid one draw per trial), and an exact binomial rather
+        // than its Poisson approximation.
+        crate::math::binomial_from_uniform(n, p, rng.gen())
     } else {
         let sd = (mean * (1.0 - p)).sqrt();
         let z = retention::sample_standard_normal(rng);

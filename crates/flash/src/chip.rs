@@ -2,15 +2,18 @@
 //! mirroring what the paper's FPGA platform drives (erase, program, read,
 //! read-retry) plus the per-block Vpass control the paper proposes.
 //!
-//! A chip is built at one of two fidelity tiers (see [`crate::fidelity`]):
+//! A chip is built at one of three fidelity tiers (see [`crate::fidelity`]):
 //! the default [`ReadFidelity::CellExact`] keeps per-cell Monte-Carlo state
 //! ([`Block`]/[`crate::CellArray`]); [`ReadFidelity::PageAnalytic`] serves
 //! reads from the calibrated closed-form model at O(errors) per page and
-//! returns [`FlashError::FidelityUnsupported`] for the per-cell oracles.
+//! returns [`FlashError::FidelityUnsupported`] for the per-cell oracles;
+//! [`ReadFidelity::BlockAggregate`] fast-forwards per-block closed-form
+//! state between interesting events at O(1) per read, with no payloads.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::aggregate_block::AggregateState;
 use crate::analytic::AnalyticModel;
 use crate::analytic_block::AnalyticBlock;
 use crate::bits;
@@ -96,12 +99,19 @@ impl VthHistogram {
 }
 
 /// Per-block storage of the chip, selected by the fidelity tier.
+// One Storage exists per chip, so the size spread between the variants
+// costs a few hundred bytes total — boxing would only add an indirection
+// on the read hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum Storage {
     /// Per-cell Monte-Carlo state.
     Exact(Vec<Block>),
     /// Closed-form model plus lightweight per-block counters and payloads.
     Analytic { model: AnalyticModel, blocks: Vec<AnalyticBlock> },
+    /// Closed-form model plus struct-of-arrays per-block aggregate state
+    /// (no payloads; reads fast-forward between interesting events).
+    Aggregate { model: AnalyticModel, state: AggregateState },
 }
 
 /// The simulated MLC NAND flash chip.
@@ -111,6 +121,9 @@ pub struct Chip {
     params: ChipParams,
     storage: Storage,
     rng: StdRng,
+    /// ECC correction capability hint (error bits per page) used by the
+    /// block-aggregate tier to compute ECC-margin crossings analytically.
+    read_margin: Option<u64>,
 }
 
 impl Chip {
@@ -146,8 +159,32 @@ impl Chip {
                     .map(|_| AnalyticBlock::new(geometry.wordlines_per_block, geometry.bitlines))
                     .collect(),
             },
+            ReadFidelity::BlockAggregate => {
+                let model = AnalyticModel::from_chip(&params, geometry.wordlines_per_block);
+                let state = AggregateState::new(
+                    geometry.blocks,
+                    geometry.wordlines_per_block,
+                    geometry.bitlines,
+                    &params,
+                    &model,
+                );
+                Storage::Aggregate { model, state }
+            }
         };
-        Self { geometry, params, storage, rng }
+        Self { geometry, params, storage, rng, read_margin: None }
+    }
+
+    /// Tells the chip the decoder's per-page correction capability (error
+    /// bits). The block-aggregate tier uses it to compute ECC-margin
+    /// crossings analytically and fast-forward reads in between; without a
+    /// margin every aggregate read samples live. Other tiers ignore it.
+    pub fn set_read_margin(&mut self, margin: Option<u64>) {
+        self.read_margin = margin;
+    }
+
+    /// The configured ECC-margin hint (see [`Chip::set_read_margin`]).
+    pub fn read_margin(&self) -> Option<u64> {
+        self.read_margin
     }
 
     /// Creates a chip at an explicit fidelity tier (overriding
@@ -181,9 +218,7 @@ impl Chip {
         self.geometry.check_block(block)?;
         match &self.storage {
             Storage::Exact(blocks) => Ok(&blocks[block as usize]),
-            Storage::Analytic { .. } => {
-                Err(FlashError::FidelityUnsupported { op: "per-cell block access" })
-            }
+            _ => Err(FlashError::FidelityUnsupported { op: "per-cell block access" }),
         }
     }
 
@@ -197,6 +232,7 @@ impl Chip {
         match &self.storage {
             Storage::Exact(blocks) => Ok(blocks[block as usize].status()),
             Storage::Analytic { model, blocks } => Ok(blocks[block as usize].status(model)),
+            Storage::Aggregate { state, .. } => Ok(state.status(block as usize)),
         }
     }
 
@@ -223,6 +259,9 @@ impl Chip {
                 blocks[block as usize].erase(&params, &mut self.rng);
             }
             Storage::Analytic { blocks, .. } => blocks[block as usize].erase(),
+            Storage::Aggregate { model, state } => {
+                state.erase(&self.params, model, block as usize);
+            }
         }
         Ok(())
     }
@@ -241,6 +280,9 @@ impl Chip {
                 blocks[block as usize].pre_wear(&params, &mut self.rng, cycles);
             }
             Storage::Analytic { blocks, .. } => blocks[block as usize].pre_wear(cycles),
+            Storage::Aggregate { model, state } => {
+                state.pre_wear(&self.params, model, block as usize, cycles);
+            }
         }
         Ok(())
     }
@@ -259,6 +301,9 @@ impl Chip {
                 blocks[block as usize].program_page(&params, &mut self.rng, page, data)
             }
             Storage::Analytic { blocks, .. } => blocks[block as usize].program_page(page, data),
+            Storage::Aggregate { model, state } => {
+                state.program_page(&self.params, model, block as usize, page, data)
+            }
         }
     }
 
@@ -288,7 +333,7 @@ impl Chip {
     /// Fails if the address is out of range.
     pub fn read_page(&mut self, block: u32, page: u32) -> Result<ReadOutcome, FlashError> {
         self.geometry.check_block(block)?;
-        let Self { params, storage, rng, .. } = self;
+        let Self { params, storage, rng, read_margin, .. } = self;
         match storage {
             Storage::Exact(blocks) => {
                 let params = params.clone();
@@ -296,6 +341,9 @@ impl Chip {
             }
             Storage::Analytic { model, blocks } => {
                 blocks[block as usize].read_page(params, model, rng, page, true)
+            }
+            Storage::Aggregate { state, .. } => {
+                state.read_page(rng, *read_margin, block as usize, page, true)
             }
         }
     }
@@ -323,7 +371,7 @@ impl Chip {
                 let params = self.params.clone();
                 blocks[block as usize].read_page_with_refs(&params, page, refs, true)
             }
-            Storage::Analytic { .. } => {
+            Storage::Analytic { .. } | Storage::Aggregate { .. } => {
                 if *refs == self.params.refs {
                     self.read_page(block, page)
                 } else {
@@ -362,6 +410,9 @@ impl Chip {
             Storage::Analytic { model, blocks } => {
                 blocks[block as usize].read_page_shifted(params, model, rng, page, shift, true)?
             }
+            Storage::Aggregate { model, state } => {
+                state.read_page_shifted(params, model, rng, block as usize, page, shift, true)?
+            }
         };
         Ok(RetryReadOutcome { shift, outcome })
     }
@@ -380,6 +431,7 @@ impl Chip {
                 blocks[block as usize].apply_read_disturbs(&params, n);
             }
             Storage::Analytic { blocks, .. } => blocks[block as usize].apply_read_disturbs(n),
+            Storage::Aggregate { state, .. } => state.apply_read_disturbs(block as usize, n),
         }
         Ok(())
     }
@@ -401,6 +453,9 @@ impl Chip {
             }
             Storage::Analytic { blocks, .. } => {
                 blocks[block as usize].hammer_wordline(&self.params, wordline, n);
+            }
+            Storage::Aggregate { state, .. } => {
+                state.hammer_wordline(block as usize, wordline, n);
             }
         }
         Ok(())
@@ -426,6 +481,9 @@ impl Chip {
             Storage::Analytic { model, blocks } => {
                 Ok(blocks[block as usize].rber_wordline_oracle(&self.params, model, wordline))
             }
+            Storage::Aggregate { state, .. } => {
+                Ok(state.rber_wordline_oracle(block as usize, wordline))
+            }
         }
     }
 
@@ -442,6 +500,11 @@ impl Chip {
                     b.advance_days(days);
                 }
             }
+            Storage::Aggregate { model, state } => {
+                for b in 0..self.geometry.blocks {
+                    state.advance_days(&self.params, model, b as usize, days);
+                }
+            }
         }
     }
 
@@ -455,6 +518,9 @@ impl Chip {
         match &mut self.storage {
             Storage::Exact(blocks) => blocks[block as usize].advance_days(days),
             Storage::Analytic { blocks, .. } => blocks[block as usize].advance_days(days),
+            Storage::Aggregate { model, state } => {
+                state.advance_days(&self.params, model, block as usize, days);
+            }
         }
         Ok(())
     }
@@ -475,6 +541,9 @@ impl Chip {
             Storage::Analytic { model, blocks } => {
                 blocks[block as usize].set_vpass(&self.params, model, vpass)
             }
+            Storage::Aggregate { model, state } => {
+                state.set_vpass(&self.params, model, block as usize, vpass)
+            }
         }
     }
 
@@ -488,6 +557,7 @@ impl Chip {
         match &self.storage {
             Storage::Exact(blocks) => Ok(blocks[block as usize].vpass()),
             Storage::Analytic { blocks, .. } => Ok(blocks[block as usize].vpass()),
+            Storage::Aggregate { state, .. } => Ok(state.vpass(block as usize)),
         }
     }
 
@@ -505,6 +575,7 @@ impl Chip {
             Storage::Analytic { model, blocks } => {
                 Ok(blocks[block as usize].rber_oracle(&self.params, model))
             }
+            Storage::Aggregate { state, .. } => Ok(state.rber_oracle(block as usize)),
         }
     }
 
@@ -523,6 +594,10 @@ impl Chip {
             Storage::Exact(blocks) => Ok(blocks[block as usize].rber_oracle(&self.params).rate()),
             Storage::Analytic { model, blocks } => {
                 let (expected, bits) = blocks[block as usize].rber_expectation(&self.params, model);
+                Ok(if bits == 0 { 0.0 } else { expected / bits as f64 })
+            }
+            Storage::Aggregate { state, .. } => {
+                let (expected, bits) = state.rber_expectation(block as usize);
                 Ok(if bits == 0 { 0.0 } else { expected / bits as f64 })
             }
         }
@@ -581,9 +656,7 @@ impl Chip {
                 let params = self.params.clone();
                 blocks[block as usize].measure_wordline_vth(&params, wordline, step, disturb)
             }
-            Storage::Analytic { .. } => {
-                Err(FlashError::FidelityUnsupported { op: "per-cell Vth measurement" })
-            }
+            _ => Err(FlashError::FidelityUnsupported { op: "per-cell Vth measurement" }),
         }
     }
 
@@ -598,6 +671,7 @@ impl Chip {
         match &self.storage {
             Storage::Exact(blocks) => Ok(blocks[block as usize].is_page_programmed(page)),
             Storage::Analytic { blocks, .. } => Ok(blocks[block as usize].is_page_programmed(page)),
+            Storage::Aggregate { state, .. } => Ok(state.is_page_programmed(block as usize, page)),
         }
     }
 
@@ -632,6 +706,9 @@ impl Chip {
                 Ok(data)
             }
             Storage::Analytic { blocks, .. } => blocks[block as usize].intended_page_bits(page),
+            Storage::Aggregate { .. } => {
+                Err(FlashError::FidelityUnsupported { op: "page payload retrieval" })
+            }
         }
     }
 
@@ -644,6 +721,12 @@ impl Chip {
     /// Fails if `block` is out of range.
     pub fn refresh_block(&mut self, block: u32) -> Result<(), FlashError> {
         self.geometry.check_block(block)?;
+        // The aggregate tier keeps no payloads: refresh in place (same
+        // semantics — wear increments, clocks and dose reset, data stays).
+        if let Storage::Aggregate { model, state } = &mut self.storage {
+            state.refresh_in_place(&self.params, model, block as usize);
+            return Ok(());
+        }
         let pages: Vec<(u32, Vec<u8>)> = (0..self.geometry.pages_per_block())
             .filter(|p| self.is_page_programmed(block, *p).unwrap_or(false))
             .map(|p| (p, self.intended_page_bits(block, p).expect("programmed page")))
@@ -920,5 +1003,91 @@ mod tests {
         let lowered = mean_errors(&mut chip, -12.0);
         assert!(raised < base, "positive retry shift must recover: {base} -> {raised}");
         assert!(lowered > base, "negative retry shift must hurt: {base} -> {lowered}");
+    }
+
+    fn aggregate_chip() -> Chip {
+        Chip::with_fidelity(
+            Geometry::small(),
+            ChipParams::default(),
+            1234,
+            ReadFidelity::BlockAggregate,
+        )
+    }
+
+    #[test]
+    fn aggregate_chip_serves_reads_and_counters() {
+        let mut chip = aggregate_chip();
+        assert_eq!(chip.fidelity(), ReadFidelity::BlockAggregate);
+        chip.program_block_random(0, 55).unwrap();
+        assert!(chip.is_page_programmed(0, 3).unwrap());
+        let out = chip.read_page(0, 3).unwrap();
+        assert!(out.data.is_empty(), "aggregate reads carry no payload");
+        assert_eq!(out.stats.bits, chip.geometry().bits_per_page() as u64);
+        assert_eq!(chip.block_status(0).unwrap().reads_since_erase, 1);
+        // Refresh needs no payloads: wear increments, clocks reset, data stays.
+        chip.apply_read_disturbs(0, 10_000).unwrap();
+        chip.advance_days(7.0);
+        let pe_before = chip.block_status(0).unwrap().pe_cycles;
+        chip.refresh_block(0).unwrap();
+        let st = chip.block_status(0).unwrap();
+        assert_eq!(st.pe_cycles, pe_before + 1);
+        assert_eq!(st.reads_since_erase, 0);
+        assert_eq!(st.age_days, 0.0);
+        assert!(chip.is_page_programmed(0, 3).unwrap());
+    }
+
+    #[test]
+    fn aggregate_chip_rejects_per_cell_oracles_and_payloads() {
+        let mut chip = aggregate_chip();
+        chip.program_block_random(0, 1).unwrap();
+        assert!(matches!(chip.vth_histogram(0, 4.0), Err(FlashError::FidelityUnsupported { .. })));
+        assert!(matches!(
+            chip.measure_wordline_vth(0, 0, 1.0, false),
+            Err(FlashError::FidelityUnsupported { .. })
+        ));
+        assert!(matches!(chip.block(0), Err(FlashError::FidelityUnsupported { .. })));
+        assert!(matches!(
+            chip.intended_page_bits(0, 0),
+            Err(FlashError::FidelityUnsupported { .. })
+        ));
+        // Default refs and shifted retries are served.
+        let refs = chip.params().refs;
+        assert!(chip.read_page_with_refs(0, 0, &refs).is_ok());
+        assert!(chip.read_retry(0, 0, 5.0).is_ok());
+    }
+
+    #[test]
+    fn aggregate_chip_is_deterministic_given_seed() {
+        let run = || {
+            let mut chip = aggregate_chip();
+            chip.cycle_block(1, 8_000).unwrap();
+            chip.program_block_random(1, 3).unwrap();
+            let mut errors = 0;
+            for _ in 0..50 {
+                for page in 0..chip.geometry().pages_per_block() {
+                    errors += chip.read_page(1, page).unwrap().stats.errors;
+                }
+            }
+            (errors, chip.block_rber(1).unwrap())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn aggregate_chip_margin_hint_enables_fast_forward() {
+        // With a generous ECC-margin hint a fresh block stays far from the
+        // margin, so reads are served from the per-block summary — the
+        // error count is frozen between refresh horizons instead of
+        // resampling noise every read.
+        let mut chip = aggregate_chip();
+        chip.set_read_margin(Some(40));
+        assert_eq!(chip.read_margin(), Some(40));
+        chip.program_block_random(0, 9).unwrap();
+        let first = chip.read_page(0, 0).unwrap().stats.errors;
+        let next = chip.read_page(0, 0).unwrap().stats.errors;
+        assert_eq!(first, next, "summary-served reads are constant within a horizon");
+        // Without a hint the chip must assume a standalone caller and sample.
+        chip.set_read_margin(None);
+        assert!(chip.read_page(0, 0).is_ok());
     }
 }

@@ -19,19 +19,23 @@
 //!
 //! # Tier contract
 //!
-//! | Operation | `CellExact` | `PageAnalytic` |
-//! |---|---|---|
-//! | `read_page`, `program_page`, `erase`, refresh | per-cell Monte-Carlo | sampled from the analytic model |
-//! | `block_rber` / `wordline_rber` | per-cell oracle | closed-form expectation |
-//! | disturb accounting | per-read dose updates | batched per-(block, wordline) counters, folded lazily |
-//! | `ReadReclaim`, Vpass Tuning, refresh policies | exact | fully supported (counter/probe driven) |
-//! | Vth histograms, read-retry sweeps, RDR, per-cell oracles | exact | [`crate::FlashError::FidelityUnsupported`] |
+//! | Operation | `CellExact` | `PageAnalytic` | `BlockAggregate` |
+//! |---|---|---|---|
+//! | `read_page`, `program_page`, `erase`, refresh | per-cell Monte-Carlo | sampled from the analytic model | cached per-block summary, sampled only near events |
+//! | `block_rber` / `wordline_rber` | per-cell oracle | closed-form expectation | closed-form expectation (block-level) |
+//! | disturb accounting | per-read dose updates | batched per-(block, wordline) counters, folded lazily | fold-free per-block accumulator (slope applied at read time) |
+//! | `ReadReclaim`, Vpass Tuning, refresh policies | exact | fully supported (counter/probe driven) | fully supported (counter/probe driven) |
+//! | read-retry sweeps (`read_retry`) | exact | sampled at the shifted reference | sampled at the shifted reference |
+//! | page payloads (`intended_page_bits`, read data) | exact bytes | exact bytes | empty (error counts only) |
+//! | Vth histograms, RDR, per-cell oracles | exact | [`crate::FlashError::FidelityUnsupported`] | [`crate::FlashError::FidelityUnsupported`] |
 //!
 //! `CellExact` is the default everywhere and is bit-for-bit identical to
 //! the behaviour before the tier existed (the golden-run suite enforces
 //! this). `PageAnalytic` is deterministic per seed and bit-identical for
 //! any engine worker-thread count, but produces a *different* (sampled)
-//! error stream than `CellExact` by construction.
+//! error stream than `CellExact` by construction. `BlockAggregate` shares
+//! those determinism guarantees while serving most host reads without
+//! touching the RNG at all.
 
 /// Fidelity tier of a chip's read path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -47,6 +51,33 @@ pub enum ReadFidelity {
     /// chip's seeded RNG. Statistically faithful, O(errors) per page read;
     /// per-cell oracles are unavailable.
     PageAnalytic,
+    /// Event-driven per-block aggregate model: a block's error state is a
+    /// closed-form function of (reads-since-erase, P/E count, retention
+    /// time, Vpass), advanced lazily. Host reads that cannot change the
+    /// ECC outcome are served from a precomputed per-block error summary
+    /// without touching the RNG; error samples are materialized only at
+    /// the *fast-forward events*:
+    ///
+    /// * **ECC-margin crossings**, computed analytically — the block's
+    ///   expected error count approaches the decoder's correction
+    ///   capability (the chip learns the margin via
+    ///   [`crate::Chip::set_read_margin`]);
+    /// * **Vpass changes** ([`crate::Chip::set_block_vpass`]) — any
+    ///   relaxed pass-through voltage makes blocked-bitline sensing
+    ///   probabilistic, so reads sample live from then on;
+    /// * **policy probes** at relaxed Vpass (Vpass Tuning's
+    ///   blocked-bitline zero counting) — served by the same live path;
+    /// * **recovery-ladder entry** ([`crate::Chip::read_retry`]) — retry
+    ///   reads at shifted references are always sampled so escalation
+    ///   behaves like the other tiers;
+    /// * **bulk disturb / retention / wear updates**
+    ///   (`apply_read_disturbs`, `advance_days`, erase, program) — the
+    ///   cached summary is invalidated and recomputed at the next read.
+    ///
+    /// Between events a read costs O(1) with no RNG draw and no payload
+    /// allocation. Read payloads are empty at this tier — only error
+    /// counts and blocked-bitline counts are modeled.
+    BlockAggregate,
 }
 
 impl ReadFidelity {
@@ -56,6 +87,7 @@ impl ReadFidelity {
         match self {
             ReadFidelity::CellExact => "cell-exact",
             ReadFidelity::PageAnalytic => "page-analytic",
+            ReadFidelity::BlockAggregate => "block-aggregate",
         }
     }
 }
@@ -73,6 +105,7 @@ impl std::str::FromStr for ReadFidelity {
         match s {
             "cell-exact" | "exact" => Ok(ReadFidelity::CellExact),
             "page-analytic" | "analytic" => Ok(ReadFidelity::PageAnalytic),
+            "block-aggregate" | "aggregate" => Ok(ReadFidelity::BlockAggregate),
             other => Err(format!("unknown fidelity tier: {other}")),
         }
     }
@@ -89,11 +122,14 @@ mod tests {
 
     #[test]
     fn round_trips_through_strings() {
-        for tier in [ReadFidelity::CellExact, ReadFidelity::PageAnalytic] {
+        for tier in
+            [ReadFidelity::CellExact, ReadFidelity::PageAnalytic, ReadFidelity::BlockAggregate]
+        {
             assert_eq!(tier.as_str().parse::<ReadFidelity>().unwrap(), tier);
             assert_eq!(tier.to_string(), tier.as_str());
         }
         assert_eq!("analytic".parse::<ReadFidelity>().unwrap(), ReadFidelity::PageAnalytic);
+        assert_eq!("aggregate".parse::<ReadFidelity>().unwrap(), ReadFidelity::BlockAggregate);
         assert!("mlc".parse::<ReadFidelity>().is_err());
     }
 }

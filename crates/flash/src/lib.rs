@@ -30,12 +30,14 @@
 //!    (endurance evaluation, Fig. 8), calibrated to the paper's reported
 //!    curves (see `DESIGN.md` §4).
 //!
-//! A [`Chip`] itself can be built at either tier via
+//! A [`Chip`] itself can be built at any of three tiers via
 //! [`ReadFidelity`]: the default [`ReadFidelity::CellExact`] runs the
-//! per-cell simulation, while [`ReadFidelity::PageAnalytic`] serves page
-//! reads from the calibrated closed-form model at O(errors) per read —
-//! the tier SSD-scale trace replay uses (see [`fidelity`] for the
-//! contract between the two).
+//! per-cell simulation, [`ReadFidelity::PageAnalytic`] serves page reads
+//! from the calibrated closed-form model at O(errors) per read, and
+//! [`ReadFidelity::BlockAggregate`] fast-forwards closed-form per-block
+//! state between interesting events at O(1) per read — the tier
+//! billion-op lifetime replay uses (see [`fidelity`] for the contract
+//! between the tiers).
 //!
 //! ## Quick example
 //!
@@ -69,6 +71,7 @@ pub mod noise;
 pub mod params;
 pub mod state;
 
+mod aggregate_block;
 mod analytic_block;
 mod block;
 

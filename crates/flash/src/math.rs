@@ -55,6 +55,40 @@ pub fn ln1p(x: f64) -> f64 {
     x.ln_1p()
 }
 
+/// Binomial(`n`, `p`) sample from a single uniform draw `u ∈ [0, 1)` via an
+/// inverse-CDF walk (product recursion on the PMF).
+///
+/// The walk consumes exactly one RNG draw regardless of outcome — the hot
+/// sampling loop never branches on the RNG stream, which keeps tier results
+/// independent of how many variates earlier reads consumed. Expected cost is
+/// O(np) multiply-adds with no further RNG calls (the classic Knuth
+/// product-inversion costs one RNG call *per trial*). Intended for the
+/// small-mean regime (`np` ≲ 32); larger means should use a normal
+/// approximation.
+pub fn binomial_from_uniform(n: u64, p: f64, u: f64) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    // pmf(0) = (1-p)^n, then pmf(k+1) = pmf(k) * (n-k)/(k+1) * p/(1-p).
+    let ratio = p / (1.0 - p);
+    let mut pmf = ((n as f64) * (-p).ln_1p()).exp();
+    let mut cdf = pmf;
+    let mut k = 0u64;
+    while u > cdf && k < n {
+        pmf *= ((n - k) as f64) / ((k + 1) as f64) * ratio;
+        k += 1;
+        cdf += pmf;
+        if pmf < 1e-300 {
+            // Underflow guard: the remaining tail mass is numerically zero.
+            break;
+        }
+    }
+    k
+}
+
 /// Intersection point of two Gaussian PDFs with `mean_lo < mean_hi`.
 ///
 /// Solves `N(x; lo) = N(x; hi)` for the crossing between the two means; this
@@ -124,6 +158,26 @@ mod tests {
             x += step;
         }
         assert!((sum - 1.0).abs() < 1e-4, "integral = {sum}");
+    }
+
+    #[test]
+    fn binomial_from_uniform_edges_and_moments() {
+        assert_eq!(binomial_from_uniform(0, 0.5, 0.9), 0);
+        assert_eq!(binomial_from_uniform(100, 0.0, 0.9), 0);
+        assert_eq!(binomial_from_uniform(100, 1.0, 0.1), 100);
+        // u = 0 always lands in the first CDF bucket.
+        assert_eq!(binomial_from_uniform(100, 0.05, 0.0), 0);
+        // u → 1 walks to the far tail but never past n.
+        assert!(binomial_from_uniform(16, 0.5, 0.999_999_999) <= 16);
+        // Mean over a uniform grid of u matches n·p (inverse-CDF is exact).
+        let (n, p) = (2048u64, 4.0e-3);
+        let grid = 20_000;
+        let mean: f64 = (0..grid)
+            .map(|i| binomial_from_uniform(n, p, (i as f64 + 0.5) / grid as f64) as f64)
+            .sum::<f64>()
+            / grid as f64;
+        let expect = n as f64 * p;
+        assert!((mean - expect).abs() / expect < 0.02, "mean {mean} vs np {expect}");
     }
 
     #[test]

@@ -325,8 +325,10 @@ mod tests {
     }
 
     #[test]
-    fn retry_sweep_recovers_disturbed_page_on_both_tiers() {
-        for fidelity in [ReadFidelity::CellExact, ReadFidelity::PageAnalytic] {
+    fn retry_sweep_recovers_disturbed_page_on_all_tiers() {
+        for fidelity in
+            [ReadFidelity::CellExact, ReadFidelity::PageAnalytic, ReadFidelity::BlockAggregate]
+        {
             let mut chip = disturbed_chip(fidelity, 10_000, 1_000_000);
             // Above the ~10-error misprogram floor of this wear level but
             // below the disturb-inflated raw counts: the retry regime.
