@@ -1,0 +1,190 @@
+//! Extension — service-mode perf: drive the `rd-serve` sharded
+//! multi-tenant front-end with the default 4-tenant bursty open-loop mix
+//! on the `BlockAggregate` tier and measure aggregate wall-clock host
+//! throughput, per-tenant latency percentiles, and UBER.
+//!
+//! Emits rows to `target/figures/ext_serve_traffic.jsonl` and appends one
+//! entry (mode `serve-quick` / `serve-full`) to the `BENCH_PERF.json`
+//! trajectory, gated against the latest committed entry of the same mode
+//! like the batch-replay harness.
+//!
+//! Built-in gates: the sharded service's data digest must be
+//! bit-identical to a monolithic single-engine batch replay of the same
+//! op sequence (the scale-out correctness anchor), every tenant must see
+//! traffic, and in full mode the service must sustain ≥1M aggregate host
+//! ops/s across ≥2 shards with ≥4 tenants.
+//!
+//! Usage: `ext_serve_traffic [--quick] [--no-regression-gate]`
+
+use std::time::Instant;
+
+use rd_bench::trajectory;
+use readdisturb::engine::{Engine, EngineConfig, ReqKind, Timing, Topology};
+use readdisturb::flash::ReadFidelity;
+use readdisturb::ftl::SsdConfig;
+use readdisturb::serve::{ServeConfig, Service, ServiceOp, TenantConfig};
+use readdisturb::workloads::{OpKind, TraceOp};
+
+const SEED: u64 = 2015;
+
+fn tenants() -> Vec<TenantConfig> {
+    vec![
+        TenantConfig::new("web", "umass-web", 6000.0),
+        TenantConfig::new("fin", "umass-fin1", 4000.0),
+        TenantConfig::new("mail", "postmark", 2500.0),
+        TenantConfig::new("eng", "msr-src12", 1500.0),
+    ]
+}
+
+fn engine_config(channels: u32, dies_per_channel: u32) -> EngineConfig {
+    EngineConfig {
+        topology: Topology { channels, dies_per_channel },
+        die: SsdConfig::engine_scale(SEED).with_fidelity(ReadFidelity::BlockAggregate),
+        timing: Timing::default(),
+        queue_depth: 16,
+        capture_read_data: false,
+        die_index_offset: 0,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate_enabled = !args.iter().any(|a| a == "--no-regression-gate");
+    let (mode, total_ops, shards) =
+        if quick { ("serve-quick", 400_000u64, 2u32) } else { ("serve-full", 4_000_000u64, 4u32) };
+    let config = ServeConfig {
+        engine: engine_config(4, 4),
+        shards,
+        batch_ops: 1024,
+        max_inflight_batches: 4,
+        threads_per_shard: 1,
+    };
+
+    // Read the baseline BEFORE appending this run's entry.
+    let baseline = trajectory::latest_perf_host_kiops("BENCH_PERF", mode, "block-aggregate");
+
+    // Pre-generate the arrival sequence so the measured window is pure
+    // serving (standard load-generator practice; the open-loop timestamps
+    // are carried by the ops themselves).
+    let mut service = Service::start(config.clone(), tenants()).expect("start service");
+    let ops: Vec<ServiceOp> = service.traffic(SEED).take(total_ops as usize).collect();
+    let started = Instant::now();
+    for op in &ops {
+        service.submit(*op);
+    }
+    service.flush();
+    let wall_s = started.elapsed().as_secs_f64();
+    let report = service.report(wall_s);
+
+    // Gate 1 — digest parity: the same op sequence batch-replayed through
+    // one monolithic whole-array engine must land identical data.
+    let replay_ops: Vec<TraceOp> = ops
+        .iter()
+        .map(|op| TraceOp {
+            time_s: op.time_s,
+            kind: match op.kind {
+                ReqKind::Read => OpKind::Read,
+                ReqKind::Write => OpKind::Write,
+            },
+            lpa: op.lpa,
+        })
+        .collect();
+    let mut reference = Engine::new(engine_config(4, 4)).expect("reference engine");
+    let replay_started = Instant::now();
+    let replayed = reference.replay_stats_only(replay_ops, shards as usize);
+    let replay_wall_s = replay_started.elapsed().as_secs_f64();
+    assert_eq!(
+        report.stats.data_digest, replayed.data_digest,
+        "sharded service digest diverged from monolithic batch replay"
+    );
+    assert_eq!(report.stats.ops, replayed.ops, "service dropped or duplicated ops");
+    assert_eq!(report.stats.uncorrectable_reads, replayed.uncorrectable_reads);
+
+    // Gate 2 — multi-tenancy: every tenant saw traffic and got accounted.
+    assert_eq!(report.tenants.iter().map(|t| t.ops).sum::<u64>(), total_ops);
+    for tenant in &report.tenants {
+        assert!(tenant.ops > 0, "tenant {} starved", tenant.name);
+    }
+
+    let host_kiops = report.wall_ops_per_s() / 1e3;
+    println!(
+        "## serve[{mode}]: {:.1} kIOPS host aggregate ({} ops, {} shards, {} tenants, \
+         {:.0} ms wall; batch replay {:.1} kIOPS for reference)",
+        host_kiops,
+        report.stats.ops,
+        shards,
+        report.tenants.len(),
+        wall_s * 1e3,
+        total_ops as f64 / replay_wall_s / 1e3,
+    );
+    println!(
+        "## serve[{mode}]: digest {:016x} == batch replay, uber {:.3e}, p50 {:.1}us \
+         p99 {:.1}us (simulated device time)",
+        report.stats.data_digest,
+        report.stats.uber,
+        report.stats.latency_p50_us,
+        report.stats.latency_p99_us,
+    );
+    for tenant in &report.tenants {
+        println!(
+            "##   tenant {:<6} ops {:<8} p50 {:>8.1}us p99 {:>8.1}us uber {:.3e}",
+            tenant.name, tenant.ops, tenant.p50_latency_us, tenant.p99_latency_us, tenant.uber,
+        );
+    }
+
+    // Gate 3 — the service floor: full mode must sustain ≥1M host ops/s.
+    if !quick {
+        assert!(
+            host_kiops >= 1_000.0,
+            "service throughput {host_kiops:.1} kIOPS below the 1M ops/s floor"
+        );
+    }
+
+    // One perf row (trajectory-gateable) plus one row per tenant.
+    let mut rows = vec![format!(
+        concat!(
+            "{{\"kind\":\"perf\",\"fidelity\":\"block-aggregate\",\"service\":true,",
+            "\"shards\":{},\"tenants\":{},\"trace_ops\":{},\"wall_ms\":{:.3},",
+            "\"host_kiops\":{:.2},\"effective_ops\":{},\"uber\":{:.3e},",
+            "\"p50_us\":{:.1},\"p99_us\":{:.1},\"digest\":\"{:016x}\"}}"
+        ),
+        shards,
+        report.tenants.len(),
+        total_ops,
+        wall_s * 1e3,
+        host_kiops,
+        report.stats.effective_ops(),
+        report.stats.uber,
+        report.stats.latency_p50_us,
+        report.stats.latency_p99_us,
+        report.stats.data_digest,
+    )];
+    for tenant in &report.tenants {
+        rows.push(tenant.to_json());
+    }
+    rd_bench::emit_jsonl("ext_serve_traffic", &rows);
+
+    // Trajectory regression gate, then record the run (same ordering as
+    // the batch harness: a failing run never installs its own baseline).
+    let tolerance = if quick { 0.60 } else { 0.20 };
+    match baseline {
+        Some(base) if base > 0.0 => {
+            let floor = base * (1.0 - tolerance);
+            println!(
+                "## trajectory gate ({mode}): current {host_kiops:.1} kIOPS vs baseline \
+                 {base:.1} (floor {floor:.1})"
+            );
+            if gate_enabled {
+                assert!(
+                    host_kiops >= floor,
+                    "service throughput regressed >{:.0}%: {host_kiops:.1} kIOPS vs \
+                     trajectory baseline {base:.1}",
+                    tolerance * 100.0,
+                );
+            }
+        }
+        _ => println!("## trajectory gate ({mode}): no committed baseline; gate skipped"),
+    }
+    trajectory::append_run("BENCH_PERF", mode, &rows);
+}

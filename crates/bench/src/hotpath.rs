@@ -111,6 +111,7 @@ pub fn measure_with(fidelity: ReadFidelity, iters: u32) -> HotpathReport {
         timing: Timing::default(),
         queue_depth: 16,
         capture_read_data: false,
+        die_index_offset: 0,
     })
     .expect("engine");
     let logical = engine.logical_pages();

@@ -38,6 +38,7 @@ pub fn engine_config(channels: u32, dies_per_channel: u32, fidelity: ReadFidelit
         timing: Timing::default(),
         queue_depth: 16,
         capture_read_data: false,
+        die_index_offset: 0,
     }
     .with_fidelity(fidelity)
 }

@@ -80,36 +80,81 @@ pub fn append_run_at(dir: &Path, name: &str, commit: &str, mode: &str, rows: &[S
     fs::write(&path, content).expect("write trajectory");
 }
 
-/// Drops every existing entry keyed `(commit, mode)`, rebuilding the
-/// array from the remaining entries. Entries are rendered by
-/// [`render_entry`]: each starts at `{"commit":` and ends at the next
-/// `]}` (rows are flat JSON objects, so the terminator is unambiguous).
+/// One parsed trajectory entry: header fields plus its verbatim row lines.
+#[derive(Debug)]
+struct Entry<'a> {
+    commit: String,
+    mode: String,
+    rows: Vec<&'a str>,
+}
+
+/// Parses the line-oriented entry structure. Only **structural** lines are
+/// interpreted: an entry opens at a line whose first token is `{"commit":`
+/// (the [`render_entry`] header, which carries the commit and mode fields)
+/// and closes at a line that is exactly `]}`; every line between is one
+/// row, kept verbatim. Row *content* is never pattern-matched, so rows are
+/// free to contain `"commit":`/`"mode":` fields or `]}` substrings without
+/// confusing the reader — the failure mode of the old substring-scanning
+/// parser. Returns no entries for legacy flat-row snapshots.
+fn parse_entries(content: &str) -> Vec<Entry<'_>> {
+    let mut entries = Vec::new();
+    let mut current: Option<Entry<'_>> = None;
+    for raw in content.lines() {
+        let line = raw.trim();
+        let line = line.strip_suffix(',').unwrap_or(line);
+        match current.as_mut() {
+            None => {
+                if line.starts_with("{\"commit\":") {
+                    let entry = Entry {
+                        commit: json_string(line, "commit").unwrap_or_default(),
+                        mode: json_string(line, "mode").unwrap_or_default(),
+                        rows: Vec::new(),
+                    };
+                    if line.ends_with("]}") {
+                        // Degenerate single-line entry (empty rows).
+                        entries.push(entry);
+                    } else {
+                        current = Some(entry);
+                    }
+                }
+                // Anything else outside an entry (array brackets, legacy
+                // flat rows) is structural noise to this reader.
+            }
+            Some(entry) => {
+                if line == "]}" {
+                    entries.push(current.take().expect("entry in progress"));
+                } else if !line.is_empty() {
+                    entry.rows.push(line);
+                }
+            }
+        }
+    }
+    entries
+}
+
+/// Drops every existing entry keyed `(commit, mode)`, rebuilding the array
+/// from the remaining entries (re-rendered through [`render_entry`], so
+/// the file stays in canonical form).
 fn remove_entry(content: &str, commit: &str, mode: &str) -> String {
     let trimmed = content.trim();
     if trimmed.is_empty() || trimmed == "[]" {
         return trimmed.to_string();
     }
-    let mut entries: Vec<&str> = Vec::new();
-    let mut rest = trimmed;
-    while let Some(start) = rest.find("{\"commit\":") {
-        let Some(end) = rest[start..].find("]}") else { break };
-        entries.push(&rest[start..start + end + 2]);
-        rest = &rest[start + end + 2..];
-    }
+    let entries = parse_entries(trimmed);
     if entries.is_empty() {
         // Not the entry format (e.g. a legacy flat-row snapshot): leave it
         // untouched and let the caller append after it.
         return trimmed.to_string();
     }
-    let marker = format!("{{\"commit\":\"{commit}\",\"mode\":\"{mode}\",");
-    let kept: Vec<&str> = entries.into_iter().filter(|e| !e.starts_with(&marker)).collect();
+    let kept: Vec<&Entry<'_>> =
+        entries.iter().filter(|e| !(e.commit == commit && e.mode == mode)).collect();
     if kept.is_empty() {
         return "[]".to_string();
     }
     let mut out = String::from("[\n");
     for (i, entry) in kept.iter().enumerate() {
-        out.push_str("  ");
-        out.push_str(entry);
+        let rows: Vec<String> = entry.rows.iter().map(|r| (*r).to_string()).collect();
+        out.push_str(&render_entry(&entry.commit, &entry.mode, &rows));
         if i + 1 < kept.len() {
             out.push(',');
         }
@@ -136,17 +181,20 @@ pub fn latest_perf_host_kiops_at(
 ) -> Option<f64> {
     let path: PathBuf = dir.join(format!("{name}.json"));
     let content = fs::read_to_string(path).ok()?;
-    let mode_tag = format!("\"mode\":\"{mode}\"");
-    let fid_tag = format!("\"fidelity\":\"{fidelity}\"");
-    // Entries start at `{"commit":`; take the last one carrying the mode
-    // tag, then its last perf row at the requested fidelity.
-    let latest =
-        content.split("{\"commit\":").filter(|segment| segment.contains(&mode_tag)).last()?;
+    // The mode comparison runs against the parsed header field, and the
+    // row scan only inside the winning entry's own rows — substrings in
+    // other entries' row payloads cannot shadow the lookup.
+    let entries = parse_entries(&content);
+    let latest = entries.iter().rev().find(|e| e.mode == mode)?;
     latest
-        .lines()
-        .filter(|line| line.contains("\"kind\":\"perf\"") && line.contains(&fid_tag))
-        .filter_map(|line| json_number(line, "host_kiops"))
-        .next_back()
+        .rows
+        .iter()
+        .rev()
+        .filter(|row| {
+            json_string(row, "kind").as_deref() == Some("perf")
+                && json_string(row, "fidelity").as_deref() == Some(fidelity)
+        })
+        .find_map(|row| json_number(row, "host_kiops"))
 }
 
 /// Extracts a bare JSON number field from a one-line object rendering.
@@ -156,6 +204,18 @@ fn json_number(line: &str, key: &str) -> Option<f64> {
     let rest = &line[start..];
     let end = rest.find([',', '}']).unwrap_or(rest.len());
     rest[..end].trim().parse().ok()
+}
+
+/// Extracts a JSON string field from a one-line object rendering (first
+/// occurrence; no escape handling — trajectory fields are commit SHAs,
+/// mode names, and fidelity tags, and JSON escaping in a row payload
+/// breaks the literal `"key":"` pattern, so escaped lookalikes don't
+/// match).
+fn json_string(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
 }
 
 #[cfg(test)]
@@ -212,6 +272,54 @@ mod tests {
         assert_eq!(latest_perf_host_kiops_at(&dir, "TRAJ", "quick", "page-analytic"), Some(250.5));
         assert_eq!(latest_perf_host_kiops_at(&dir, "TRAJ", "full", "page-analytic"), Some(100.0));
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn poisoned_rows_do_not_confuse_entry_parsing() {
+        // Regression: the old reader split the file on the `{"commit":`
+        // substring and picked entries by `contains("\"mode\":…")`, so a
+        // row that *legitimately* carried a `"mode"` field (service rows
+        // do) or a `]}` inside a string would shadow the baseline lookup
+        // and corrupt same-commit replacement. The line-based parser only
+        // interprets structural lines.
+        let dir = scratch_dir("poison");
+        let good = r#"{"kind":"perf","fidelity":"page-analytic","host_kiops":111.0}"#;
+        // A full-mode entry whose rows mention mode "quick" and embed the
+        // entry terminator inside a string payload.
+        let poison_mode =
+            r#"{"kind":"perf","fidelity":"page-analytic","host_kiops":999.0,"mode":"quick"}"#;
+        let poison_term = r#"{"kind":"note","payload":"rows end with ]} normally"}"#;
+        append_run_at(&dir, "TRAJ", "aaaaaaaaaaaa", "quick", &[good.to_string()]);
+        append_run_at(
+            &dir,
+            "TRAJ",
+            "bbbbbbbbbbbb",
+            "full",
+            &[poison_mode.to_string(), poison_term.to_string()],
+        );
+        // The quick baseline must come from the quick entry, not the later
+        // full entry whose row payload mentions "quick".
+        assert_eq!(latest_perf_host_kiops_at(&dir, "TRAJ", "quick", "page-analytic"), Some(111.0));
+        assert_eq!(latest_perf_host_kiops_at(&dir, "TRAJ", "full", "page-analytic"), Some(999.0));
+        // Re-running the poisoned entry's (commit, mode) must replace it
+        // in place even though a row payload contains the `]}` terminator.
+        let replacement = r#"{"kind":"perf","fidelity":"page-analytic","host_kiops":222.0}"#;
+        append_run_at(&dir, "TRAJ", "bbbbbbbbbbbb", "full", &[replacement.to_string()]);
+        let content = fs::read_to_string(dir.join("TRAJ.json")).unwrap();
+        assert_eq!(
+            parse_entries(&content).len(),
+            2,
+            "replacement must not duplicate or mangle entries: {content}"
+        );
+        assert_eq!(latest_perf_host_kiops_at(&dir, "TRAJ", "full", "page-analytic"), Some(222.0));
+        assert_eq!(latest_perf_host_kiops_at(&dir, "TRAJ", "quick", "page-analytic"), Some(111.0));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_flat_snapshot_is_left_untouched_by_replacement() {
+        let flat = "[\n  {\"kind\":\"perf\",\"host_kiops\":1.0}\n]";
+        assert_eq!(remove_entry(flat, "c0", "quick"), flat, "no entries → passthrough");
     }
 
     #[test]

@@ -48,6 +48,13 @@ pub struct EngineConfig {
     /// Capture decoded page data in read completions (parity tests). The
     /// data digest is maintained regardless.
     pub capture_read_data: bool,
+    /// Global index of this engine's die 0 when the engine is one shard of
+    /// a larger array (rd-serve shards a big topology into one engine per
+    /// channel group). Die seeds derive from `die_index_offset + die`, so a
+    /// sharded deployment reproduces the monolithic engine's per-die RNG
+    /// streams — and therefore its data digest — exactly. 0 for a
+    /// standalone engine.
+    pub die_index_offset: u32,
 }
 
 impl EngineConfig {
@@ -59,6 +66,7 @@ impl EngineConfig {
             timing: Timing::default(),
             queue_depth: 8,
             capture_read_data: false,
+            die_index_offset: 0,
         }
     }
 
@@ -83,10 +91,13 @@ impl EngineConfig {
     }
 
     /// The seed of a die's private RNG streams, derived from the base seed
-    /// so die 0 reproduces the single-chip [`rd_ftl::Ssd`] exactly and the
-    /// other dies get decorrelated streams.
+    /// and the die's **global** index (`die_index_offset + die`) so die 0
+    /// of an unsharded engine reproduces the single-chip [`rd_ftl::Ssd`]
+    /// exactly, the other dies get decorrelated streams, and a shard's dies
+    /// match the monolithic engine's dies at the same global positions.
     pub fn die_seed(&self, die: u32) -> u64 {
-        self.die.seed ^ (die as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        let global = u64::from(self.die_index_offset) + u64::from(die);
+        self.die.seed ^ global.wrapping_mul(0x9E37_79B9_7F4A_7C15)
     }
 
     /// Validates the configuration.
@@ -212,6 +223,10 @@ pub struct Engine<P: ControllerPolicy = NoMitigation> {
     /// Per-die work lists, reused across batches (arena: cleared, never
     /// reallocated once the replay loop reaches steady state).
     work: Vec<Vec<WorkItem>>,
+    /// Reusable submission-drain buffer (service loops run a batch per
+    /// ring doorbell; draining into this keeps the hot path allocation-free
+    /// once it reaches steady state).
+    batch_scratch: Vec<IoRequest>,
     // Discrete-event clock state (persists across batches).
     die_free_us: Vec<f64>,
     chan_free_us: Vec<f64>,
@@ -271,6 +286,7 @@ impl<P: ControllerPolicy + Clone> Engine<P> {
             cq: CompletionQueue::new(),
             next_id: 0,
             work: vec![Vec::new(); nd],
+            batch_scratch: Vec::new(),
             die_free_us: vec![0.0; nd],
             chan_free_us: vec![0.0; nc],
             inflight: vec![Window::new(qd); nd],
@@ -351,6 +367,14 @@ impl<P: ControllerPolicy> Engine<P> {
         self.cq.drain()
     }
 
+    /// Drains every unconsumed completion into `out`, oldest first,
+    /// reusing the caller's buffer across batches (the steady-state drain
+    /// path for long-running front-ends; see
+    /// [`CompletionQueue::drain_into`](crate::queue::CompletionQueue::drain_into)).
+    pub fn drain_completions_into(&mut self, out: &mut Vec<IoCompletion>) {
+        self.cq.drain_into(out);
+    }
+
     /// Advances every die's wall clock, running their daily maintenance
     /// (refresh scans, policy daily hooks).
     ///
@@ -383,6 +407,7 @@ impl<P: ControllerPolicy> Engine<P> {
                 busy_us: self.die_busy_us[d],
                 background_us: self.die_background_us[d],
                 hottest_block_reads: hottest,
+                digest: self.die_digest[d],
                 ssd,
             });
         }
@@ -442,8 +467,11 @@ impl<P: ControllerPolicy + Send> Engine<P> {
     /// harnesses that only consume [`Engine::stats`] use this to keep the
     /// per-request cost flat.
     fn run_batch(&mut self, threads: usize, emit: bool) -> usize {
-        let batch = self.sq.drain();
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        batch.clear();
+        self.sq.drain_into(&mut batch);
         if batch.is_empty() {
+            self.batch_scratch = batch;
             return 0;
         }
         for w in &mut self.work {
@@ -453,6 +481,7 @@ impl<P: ControllerPolicy + Send> Engine<P> {
             let (die, die_lpa) = self.config.topology.stripe(req.lpa);
             self.work[die as usize].push(WorkItem { id: req.id, kind: req.kind, die_lpa });
         }
+        self.batch_scratch = batch;
         self.run_prepared(threads, emit)
     }
 
@@ -610,10 +639,14 @@ impl<P: ControllerPolicy + Send> Engine<P> {
         for w in &mut self.work {
             w.clear();
         }
-        for req in self.sq.drain() {
+        let mut pending = std::mem::take(&mut self.batch_scratch);
+        pending.clear();
+        self.sq.drain_into(&mut pending);
+        for req in &pending {
             let (die, die_lpa) = self.config.topology.stripe(req.lpa);
             self.work[die as usize].push(WorkItem { id: req.id, kind: req.kind, die_lpa });
         }
+        self.batch_scratch = pending;
         // Reciprocal-multiply divisions: the trace loop folds every op's
         // lpa into the logical space and stripes it across dies, and two
         // hardware divides per op are measurable at billion-op scale.
@@ -670,18 +703,30 @@ fn resolve_threads(requested: usize, dies: usize) -> usize {
 /// `m = floor(u64::MAX / d)` underestimates the true quotient by at most 1
 /// for any 64-bit dividend, so a single conditional fix-up after the
 /// high-half multiply restores `(n / d, n % d)` exactly.
-struct FastDiv {
+///
+/// The replay loop folds every op's lpa into the logical space and stripes
+/// it across dies through two of these; rd-serve's shard router uses a
+/// third. Public so those callers (and the property suite pitting it
+/// against `/`/`%` over the full divisor range) share one implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct FastDiv {
     d: u64,
     m: u64,
 }
 
 impl FastDiv {
-    fn new(d: u64) -> Self {
+    /// Precomputes the reciprocal of `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (division by zero) if `d == 0`.
+    pub fn new(d: u64) -> Self {
         Self { d, m: u64::MAX / d }
     }
 
+    /// `(n / d, n % d)`, exactly.
     #[inline]
-    fn div_rem(&self, n: u64) -> (u64, u64) {
+    pub fn div_rem(&self, n: u64) -> (u64, u64) {
         let mut q = ((u128::from(n) * u128::from(self.m)) >> 64) as u64;
         let mut r = n - q * self.d;
         if r >= self.d {
@@ -980,6 +1025,28 @@ mod tests {
         assert_eq!(a, b, "stats-only replay must be statistically identical");
         assert_eq!(full.drain_completions().len(), ops.len());
         assert!(lean.drain_completions().is_empty(), "stats-only replay emits no completions");
+    }
+
+    #[test]
+    fn die_index_offset_aligns_shard_seeds_with_the_monolithic_array() {
+        let global = EngineConfig::small_test();
+        // Shard 1 of 2 over a 2×2 array: local dies 0..2 sit at global
+        // positions 2..4 and must draw the exact same RNG streams.
+        let shard = EngineConfig { die_index_offset: 2, ..EngineConfig::small_test() };
+        for i in 0..2 {
+            assert_eq!(shard.die_seed(i), global.die_seed(2 + i));
+            assert_ne!(shard.die_seed(i), global.die_seed(i));
+        }
+    }
+
+    #[test]
+    fn per_die_digest_is_surfaced_in_stats() {
+        let stats = fill_and_read(EngineConfig::small_test(), 1);
+        let mut folded = FNV_OFFSET;
+        for d in &stats.per_die {
+            folded = fnv1a(folded, &d.digest.to_le_bytes());
+        }
+        assert_eq!(folded, stats.data_digest, "stats digest folds the per-die digests");
     }
 
     #[test]

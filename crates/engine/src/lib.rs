@@ -37,10 +37,10 @@ pub mod stats;
 pub mod timing;
 pub mod topology;
 
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, FastDiv};
 pub use queue::{CompletionQueue, IoCompletion, IoRequest, ReqKind, SubmissionQueue};
 // Re-export: the per-die read-path fidelity knob (see `rd_flash::fidelity`).
 pub use rd_ftl::ReadFidelity;
-pub use stats::{DieStats, EngineStats};
+pub use stats::{fnv1a, percentiles_50_99, DieStats, EngineStats, FNV_OFFSET};
 pub use timing::Timing;
 pub use topology::Topology;

@@ -84,7 +84,16 @@ impl SubmissionQueue {
 
     /// Removes and returns every queued request, oldest first.
     pub fn drain(&mut self) -> Vec<IoRequest> {
-        self.entries.drain(..).collect()
+        let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Appends every queued request to `out` (oldest first) and empties the
+    /// queue. Batch loops that drain on every iteration reuse one buffer
+    /// through this instead of allocating a fresh `Vec` per batch.
+    pub fn drain_into(&mut self, out: &mut Vec<IoRequest>) {
+        out.extend(self.entries.drain(..));
     }
 
     /// Queued requests.
@@ -122,7 +131,16 @@ impl CompletionQueue {
 
     /// Removes and returns every posted completion, oldest first.
     pub fn drain(&mut self) -> Vec<IoCompletion> {
-        self.entries.drain(..).collect()
+        let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Appends every posted completion to `out` (oldest first) and empties
+    /// the queue — the allocation-reuse variant of [`CompletionQueue::drain`]
+    /// for service loops that consume completions batch after batch.
+    pub fn drain_into(&mut self, out: &mut Vec<IoCompletion>) {
+        out.extend(self.entries.drain(..));
     }
 
     /// Posted completions not yet consumed.
@@ -150,6 +168,28 @@ mod tests {
         assert!(sq.is_empty());
         assert_eq!(drained[0].id, 1);
         assert_eq!(drained[1].id, 2);
+    }
+
+    #[test]
+    fn drain_into_reuses_buffer_and_appends() {
+        let mut sq = SubmissionQueue::new();
+        let mut buf = Vec::with_capacity(4);
+        sq.push(IoRequest { id: 1, kind: ReqKind::Write, lpa: 0 });
+        sq.drain_into(&mut buf);
+        assert_eq!(buf.len(), 1);
+        assert!(sq.is_empty());
+        let ptr = buf.as_ptr();
+        buf.clear();
+        sq.push(IoRequest { id: 2, kind: ReqKind::Read, lpa: 1 });
+        sq.push(IoRequest { id: 3, kind: ReqKind::Read, lpa: 2 });
+        sq.drain_into(&mut buf);
+        assert_eq!(buf.iter().map(|r| r.id).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(ptr, buf.as_ptr(), "small drains must reuse the buffer allocation");
+        // Appends after existing contents rather than clearing them.
+        sq.push(IoRequest { id: 4, kind: ReqKind::Read, lpa: 3 });
+        sq.drain_into(&mut buf);
+        assert_eq!(buf.last().unwrap().id, 4);
+        assert_eq!(buf.len(), 3);
     }
 
     #[test]

@@ -21,6 +21,11 @@ pub struct DieStats {
     /// Highest `reads_since_erase` over the die's blocks — the die's current
     /// worst-case read-disturb accumulation point.
     pub hottest_block_reads: u64,
+    /// FNV-1a digest of every payload this die served (the per-die term the
+    /// engine-level [`EngineStats::data_digest`] folds in die order). Carried
+    /// per die so sharded deployments ([`EngineStats::merge_shards`]) can
+    /// rebuild the exact monolithic digest.
+    pub digest: u64,
     /// The die's controller counters (writes, erases, corrected bits, …).
     pub ssd: SsdStats,
 }
@@ -82,12 +87,32 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// Simulated throughput in I/O operations per second.
+    /// Raw simulated throughput in I/O operations per second: **every**
+    /// completed request over the makespan, including failed-lookup reads
+    /// and rejected writes (they consume schedule slots). For the rate of
+    /// requests that did useful work, see [`EngineStats::effective_iops`].
     pub fn iops(&self) -> f64 {
         if self.makespan_us <= 0.0 {
             0.0
         } else {
             self.ops as f64 / (self.makespan_us / 1e6)
+        }
+    }
+
+    /// Requests that did useful flash work: total ops minus `NotWritten`
+    /// reads and failed writes. On an error-heavy run this is the honest
+    /// numerator for throughput claims — the raw [`EngineStats::iops`]
+    /// would count requests that moved no data.
+    pub fn effective_ops(&self) -> u64 {
+        self.ops - self.reads_not_written - self.writes_failed
+    }
+
+    /// Simulated throughput over [`EngineStats::effective_ops`] only.
+    pub fn effective_iops(&self) -> f64 {
+        if self.makespan_us <= 0.0 {
+            0.0
+        } else {
+            self.effective_ops() as f64 / (self.makespan_us / 1e6)
         }
     }
 
@@ -98,6 +123,94 @@ impl EngineStats {
             t += d.ssd;
         }
         t
+    }
+
+    /// Merges per-shard snapshots into the statistics of the whole array,
+    /// exactly as a monolithic engine over the union of the shards' dies
+    /// would report them. Shards are independent channel groups, so:
+    ///
+    /// * counters and background time sum;
+    /// * the makespan is the maximum over shards (they run concurrently);
+    /// * dies and channels are renumbered globally in shard order;
+    /// * the data digest folds every die digest in global die order —
+    ///   bit-identical to the monolithic engine's digest when the shards
+    ///   were built with matching [`crate::EngineConfig::die_index_offset`]s;
+    /// * latency percentiles/mean come from `latency_sample` (per-shard
+    ///   percentiles are not mergeable), which the caller collects from
+    ///   completions; pass the concatenated per-request latencies.
+    ///
+    /// UBER is recomputed from the merged counters and defined as 0 when no
+    /// host reads were served (never a 0/0 NaN).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty or the shards disagree on fidelity.
+    pub fn merge_shards(shards: &[EngineStats], latency_sample: &[f64]) -> EngineStats {
+        assert!(!shards.is_empty(), "need at least one shard");
+        let fidelity = shards[0].fidelity;
+        assert!(
+            shards.iter().all(|s| s.fidelity == fidelity),
+            "shards must run at one fidelity tier"
+        );
+        let mut merged = EngineStats {
+            channels: 0,
+            dies: 0,
+            fidelity,
+            ops: 0,
+            reads: 0,
+            writes: 0,
+            reads_not_written: 0,
+            writes_failed: 0,
+            uncorrectable_reads: 0,
+            recovered_reads: 0,
+            recovery_steps: 0,
+            recovery_reads: 0,
+            uber: 0.0,
+            corrected_bits: 0,
+            background_us: 0.0,
+            makespan_us: 0.0,
+            latency_p50_us: 0.0,
+            latency_p99_us: 0.0,
+            latency_mean_us: 0.0,
+            data_digest: FNV_OFFSET,
+            per_die: Vec::with_capacity(shards.iter().map(|s| s.per_die.len()).sum()),
+        };
+        for s in shards {
+            let die_base = merged.dies;
+            let channel_base = merged.channels;
+            merged.channels += s.channels;
+            merged.dies += s.dies;
+            merged.ops += s.ops;
+            merged.reads += s.reads;
+            merged.writes += s.writes;
+            merged.reads_not_written += s.reads_not_written;
+            merged.writes_failed += s.writes_failed;
+            merged.uncorrectable_reads += s.uncorrectable_reads;
+            merged.recovered_reads += s.recovered_reads;
+            merged.recovery_steps += s.recovery_steps;
+            merged.recovery_reads += s.recovery_reads;
+            merged.corrected_bits += s.corrected_bits;
+            merged.background_us += s.background_us;
+            merged.makespan_us = merged.makespan_us.max(s.makespan_us);
+            for d in &s.per_die {
+                merged.data_digest = fnv1a(merged.data_digest, &d.digest.to_le_bytes());
+                let mut d = d.clone();
+                d.die += die_base;
+                d.channel += channel_base;
+                merged.per_die.push(d);
+            }
+        }
+        let totals = merged.totals();
+        merged.uber = totals.uber();
+        let (p50, p99) = percentiles_50_99(latency_sample);
+        merged.latency_p50_us = p50;
+        merged.latency_p99_us = p99;
+        merged.latency_mean_us = if latency_sample.is_empty() {
+            0.0
+        } else {
+            latency_sample.iter().sum::<f64>() / latency_sample.len() as f64
+        };
+        merged
     }
 }
 
@@ -113,9 +226,12 @@ pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
 }
 
 /// Nearest-rank p50 and p99 of an (unsorted) latency sample via two O(n)
-/// order-statistic selections — the same values [`percentile`] reads off a
-/// fully sorted copy, without the sort. Returns zeros for an empty sample.
-pub(crate) fn percentiles_50_99(sample: &[f64]) -> (f64, f64) {
+/// order-statistic selections — the same values a nearest-rank read off a
+/// fully sorted copy yields, without the sort. Returns zeros for an empty
+/// sample; with `n == 1` or `n == 2` the two ranks coincide on the maximum,
+/// so `p50 == p99`. Public because per-tenant accounting layers (rd-serve)
+/// reduce their own latency samples with the exact same estimator.
+pub fn percentiles_50_99(sample: &[f64]) -> (f64, f64) {
     if sample.is_empty() {
         return (0.0, 0.0);
     }
@@ -129,11 +245,13 @@ pub(crate) fn percentiles_50_99(sample: &[f64]) -> (f64, f64) {
     (p50, p99)
 }
 
-/// FNV-1a offset basis (the digest's initial state).
-pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a offset basis (the digest's initial state). Public so external
+/// digest-parity harnesses can fold per-die digests the way
+/// [`EngineStats::merge_shards`] does.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// Folds `bytes` into an FNV-1a 64-bit digest.
-pub(crate) fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+pub fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= b as u64;
         hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
@@ -183,6 +301,7 @@ mod tests {
                 busy_us: 1.0,
                 background_us: 0.0,
                 hottest_block_reads: 0,
+                digest: FNV_OFFSET,
                 ssd: a,
             },
             DieStats {
@@ -192,6 +311,7 @@ mod tests {
                 busy_us: 2.0,
                 background_us: 0.5,
                 hottest_block_reads: 7,
+                digest: FNV_OFFSET,
                 ssd: b,
             },
         ];
@@ -199,6 +319,124 @@ mod tests {
         assert_eq!(t.host_reads, 7);
         assert_eq!(t.erases, 1);
         assert_eq!(t.corrected_bits, 9);
+    }
+
+    #[test]
+    fn effective_iops_excludes_failed_ops() {
+        let s = EngineStats {
+            channels: 1,
+            dies: 1,
+            fidelity: ReadFidelity::CellExact,
+            ops: 1000,
+            reads: 800,
+            writes: 200,
+            reads_not_written: 150,
+            writes_failed: 50,
+            uncorrectable_reads: 0,
+            recovered_reads: 0,
+            recovery_steps: 0,
+            recovery_reads: 0,
+            uber: 0.0,
+            corrected_bits: 0,
+            background_us: 0.0,
+            makespan_us: 1_000_000.0,
+            latency_p50_us: 0.0,
+            latency_p99_us: 0.0,
+            latency_mean_us: 0.0,
+            data_digest: FNV_OFFSET,
+            per_die: Vec::new(),
+        };
+        // Error-heavy run: raw iops counts every schedule slot, effective
+        // only the 800 requests that moved data.
+        assert_eq!(s.effective_ops(), 800);
+        assert!((s.iops() - 1000.0).abs() < 1e-9);
+        assert!((s.effective_iops() - 800.0).abs() < 1e-9);
+        let zero = EngineStats { makespan_us: 0.0, ..s };
+        assert_eq!(zero.effective_iops(), 0.0);
+    }
+
+    fn shard_stats(fidelity: ReadFidelity, dies: u32, reads: u64, makespan: f64) -> EngineStats {
+        let per_die = (0..dies)
+            .map(|d| DieStats {
+                die: d,
+                channel: d,
+                ops: reads / dies as u64,
+                busy_us: 1.0,
+                background_us: 0.0,
+                hottest_block_reads: 0,
+                digest: fnv1a(FNV_OFFSET, &[d as u8]),
+                ssd: SsdStats { host_reads: reads / dies as u64, ..Default::default() },
+            })
+            .collect();
+        EngineStats {
+            channels: dies,
+            dies,
+            fidelity,
+            ops: reads,
+            reads,
+            writes: 0,
+            reads_not_written: 0,
+            writes_failed: 0,
+            uncorrectable_reads: 0,
+            recovered_reads: 0,
+            recovery_steps: 0,
+            recovery_reads: 0,
+            uber: 0.0,
+            corrected_bits: 0,
+            background_us: 0.0,
+            makespan_us: makespan,
+            latency_p50_us: 0.0,
+            latency_p99_us: 0.0,
+            latency_mean_us: 0.0,
+            data_digest: FNV_OFFSET,
+            per_die,
+        }
+    }
+
+    #[test]
+    fn merge_shards_sums_renumbers_and_folds_digests() {
+        let a = shard_stats(ReadFidelity::BlockAggregate, 2, 10, 5.0);
+        let b = shard_stats(ReadFidelity::BlockAggregate, 2, 30, 7.0);
+        let lat = [1.0, 2.0, 3.0, 4.0];
+        let m = EngineStats::merge_shards(&[a.clone(), b.clone()], &lat);
+        assert_eq!(m.dies, 4);
+        assert_eq!(m.channels, 4);
+        assert_eq!(m.ops, 40);
+        assert_eq!(m.makespan_us, 7.0);
+        assert_eq!(
+            m.per_die.iter().map(|d| d.die).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3],
+            "dies renumbered globally in shard order"
+        );
+        assert_eq!(m.per_die[2].channel, 2);
+        // The digest folds the four per-die digests in global order —
+        // exactly what a monolithic engine over the same dies computes.
+        let mut expect = FNV_OFFSET;
+        for d in a.per_die.iter().chain(b.per_die.iter()) {
+            expect = fnv1a(expect, &d.digest.to_le_bytes());
+        }
+        assert_eq!(m.data_digest, expect);
+        assert!((m.latency_mean_us - 2.5).abs() < 1e-12);
+        assert_eq!(m.latency_p50_us, percentiles_50_99(&lat).0);
+    }
+
+    #[test]
+    fn merge_shards_uber_guards_zero_host_reads() {
+        // No host reads anywhere: UBER must be 0, not 0/0 = NaN.
+        let a = shard_stats(ReadFidelity::CellExact, 1, 0, 1.0);
+        let b = shard_stats(ReadFidelity::CellExact, 1, 0, 2.0);
+        let m = EngineStats::merge_shards(&[a, b], &[]);
+        assert_eq!(m.uber, 0.0);
+        assert!(m.uber.is_finite());
+        assert_eq!(m.latency_p50_us, 0.0);
+        // And with losses present the ratio is recomputed from the merged
+        // counters, not averaged per shard.
+        let mut c = shard_stats(ReadFidelity::CellExact, 1, 1000, 1.0);
+        c.uncorrectable_reads = 2;
+        c.per_die[0].ssd.uncorrectable_reads = 2;
+        let d = shard_stats(ReadFidelity::CellExact, 1, 1000, 1.0);
+        let m = EngineStats::merge_shards(&[c, d], &[]);
+        assert!((m.uber - 2.0 / 2000.0).abs() < 1e-15);
     }
 
     #[test]

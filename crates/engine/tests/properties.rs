@@ -1,0 +1,96 @@
+//! Property suite for the engine's arithmetic helpers: `FastDiv` against
+//! the hardware `/`/`%` across the full divisor range, and the latency
+//! percentile selector at degenerate sample sizes.
+
+use proptest::prelude::*;
+use rd_engine::{percentiles_50_99, FastDiv};
+
+proptest! {
+    /// The reciprocal-multiply division must agree with `/` and `%` for
+    /// arbitrary (dividend, divisor) pairs.
+    #[test]
+    fn fastdiv_matches_hardware_division(n in any::<u64>(), d in 1u64..=u64::MAX) {
+        let fast = FastDiv::new(d);
+        prop_assert_eq!(fast.div_rem(n), (n / d, n % d));
+    }
+
+    /// Divisors near the engine's actual operating points (die counts,
+    /// dies-per-shard: small u32 values) with dividends across the lpa
+    /// range.
+    #[test]
+    fn fastdiv_matches_at_small_divisors(n in any::<u64>(), d in 1u64..=4096) {
+        let fast = FastDiv::new(d);
+        prop_assert_eq!(fast.div_rem(n), (n / d, n % d));
+    }
+}
+
+/// The fix-up step is exercised hardest where `u64::MAX / d` truncates
+/// most: powers of two, primes, and divisors near `u32::MAX`/`u64::MAX`.
+#[test]
+fn fastdiv_edge_divisors_exhaustive_neighborhoods() {
+    let divisors = [
+        1u64,
+        2,
+        3,
+        5,
+        7,
+        11,
+        63,
+        64,
+        65,
+        251,
+        1009,
+        65_521,
+        u64::from(u32::MAX) - 1,
+        u64::from(u32::MAX),
+        u64::from(u32::MAX) + 1,
+        (1 << 62) - 57, // prime near 2^62
+        u64::MAX - 1,
+        u64::MAX,
+    ];
+    for &d in &divisors {
+        let fast = FastDiv::new(d);
+        // Dividends around every multiple-of-d boundary near the extremes,
+        // where the underestimated quotient needs its +1 fix-up.
+        let mut dividends = vec![0, 1, d - 1, d, d.saturating_add(1), u64::MAX - 1, u64::MAX];
+        let near_top = (u64::MAX / d) * d;
+        dividends.extend([near_top.saturating_sub(1), near_top, near_top.saturating_add(1)]);
+        for n in dividends {
+            assert_eq!(fast.div_rem(n), (n / d, n % d), "n={n} d={d}");
+        }
+    }
+}
+
+#[test]
+#[should_panic]
+fn fastdiv_rejects_zero_divisor() {
+    let _ = FastDiv::new(0);
+}
+
+#[test]
+fn percentiles_at_degenerate_sample_sizes() {
+    // Empty: defined as (0, 0) rather than a panic.
+    assert_eq!(percentiles_50_99(&[]), (0.0, 0.0));
+    // n=1: both percentiles are the only observation.
+    assert_eq!(percentiles_50_99(&[42.0]), (42.0, 42.0));
+    // n=2: index arithmetic rounds p50 to the upper element and p99 to the
+    // max — and must not index out of bounds.
+    assert_eq!(percentiles_50_99(&[10.0, 20.0]), (20.0, 20.0));
+    assert_eq!(percentiles_50_99(&[20.0, 10.0]), (20.0, 20.0), "order must not matter");
+    // n=3: p50 is the median.
+    assert_eq!(percentiles_50_99(&[30.0, 10.0, 20.0]), (20.0, 30.0));
+}
+
+proptest! {
+    /// For any sample: p50 ≤ p99, both are members of the sample, and the
+    /// input slice is never reordered (callers keep accounting order).
+    #[test]
+    fn percentiles_are_order_statistics(sample in proptest::collection::vec(0.0f64..1e9, 1..200)) {
+        let before = sample.clone();
+        let (p50, p99) = percentiles_50_99(&sample);
+        prop_assert!(p50 <= p99);
+        prop_assert!(sample.contains(&p50));
+        prop_assert!(sample.contains(&p99));
+        prop_assert_eq!(sample, before);
+    }
+}

@@ -10,6 +10,7 @@
 //! | [`ftl`] | SSD substrate: page-mapped FTL, GC, wear leveling, 7-day refresh, read reclaim |
 //! | [`engine`] | multi-channel/multi-die SSD engine: request scheduling, die-level timing, parallel trace replay |
 //! | [`workloads`] | synthetic trace generators modelled on the paper's trace families |
+//! | [`serve`] | sharded async multi-tenant serving front-end over the engine |
 //! | [`core`] | **the paper's contribution**: Vpass Tuning, Read Disturb Recovery, the characterization harness, and the endurance evaluator |
 //! | [`dram`] | RowHammer module-population model (related-work Figs. 11–12) |
 //!
@@ -55,6 +56,8 @@ pub use rd_engine as engine;
 pub use rd_flash as flash;
 /// The SSD/FTL substrate.
 pub use rd_ftl as ftl;
+/// Sharded multi-tenant serving front-end.
+pub use rd_serve as serve;
 /// Synthetic workload generators.
 pub use rd_workloads as workloads;
 
@@ -74,6 +77,7 @@ pub mod prelude {
         ControllerPolicy, NoMitigation, ReadReclaim, ReadResolution, RecoveryLadder, RecoveryStep,
         Ssd, SsdConfig,
     };
+    pub use rd_serve::{ServeConfig, Service, ShardPlan, TenantConfig, Traffic};
     pub use rd_workloads::{TraceGenerator, TraceStats, WorkloadProfile};
 }
 
@@ -88,5 +92,6 @@ mod tests {
         let _ = crate::core::RdrConfig::default();
         let _ = crate::dram::ModulePopulation::paper_129(1);
         let _ = crate::engine::EngineConfig::small_test();
+        let _ = crate::serve::ServeConfig::small_test();
     }
 }

@@ -1,0 +1,85 @@
+//! `rd-serve` — sharded multi-tenant SSD serving front-end.
+//!
+//! `rd-serve run` serves a fixed number of open-loop arrivals and prints
+//! the merged report; `rd-serve repl` drops into the interactive loop.
+//! See `--help` for flags.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use rd_serve::cli::{self, CliOptions, Command, USAGE};
+use rd_serve::repl::run_repl;
+use rd_serve::Service;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args) {
+        Err(message) => {
+            eprintln!("rd-serve: {message}");
+            ExitCode::FAILURE
+        }
+        Ok(Command::Help) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Run(options)) => run_once(&options),
+        Ok(Command::Repl(options)) => {
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            match run_repl(options, stdin.lock(), &mut stdout) {
+                Ok(_) => ExitCode::SUCCESS,
+                Err(error) => {
+                    eprintln!("rd-serve: {error}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}
+
+fn run_once(options: &CliOptions) -> ExitCode {
+    let mut service = match Service::start(options.serve_config(), options.tenants()) {
+        Ok(service) => service,
+        Err(error) => {
+            eprintln!("rd-serve: failed to start service: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut traffic = service.traffic(options.seed);
+    println!(
+        "serving {} ops from {} tenants over {} shards ({} offered ops/s)...",
+        options.ops,
+        service.tenants().len(),
+        service.plan().shards(),
+        traffic.offered_ops_per_s().round(),
+    );
+    let report = service.run_traffic(&mut traffic, options.ops);
+    println!(
+        "served {} ops ({} effective) in {:.2}s wall — {:.0} ops/s, digest {:016x}",
+        report.stats.ops,
+        report.stats.effective_ops(),
+        report.wall_s,
+        report.wall_ops_per_s(),
+        report.stats.data_digest,
+    );
+    println!(
+        "array: uber {:e}, p50 {:.1}us p99 {:.1}us (simulated device time)",
+        report.stats.uber, report.stats.latency_p50_us, report.stats.latency_p99_us,
+    );
+    for tenant in &report.tenants {
+        println!(
+            "  {:<12} ops {:<9} p50 {:>8.1}us p99 {:>8.1}us uber {:e}",
+            tenant.name, tenant.ops, tenant.p50_latency_us, tenant.p99_latency_us, tenant.uber,
+        );
+    }
+    if let Some(path) = &options.snapshot {
+        if let Err(error) =
+            std::fs::File::create(path).and_then(|mut f| f.write_all(report.to_json().as_bytes()))
+        {
+            eprintln!("rd-serve: snapshot {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+        println!("snapshot written to {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,423 @@
+//! The sharded service: one engine + worker thread per channel group.
+//!
+//! [`Service`] owns `shards` worker threads, each wrapping its own
+//! [`rd_engine::Engine`] over a disjoint channel group (see
+//! [`crate::ShardPlan`]). The front-end routes each incoming op to its
+//! shard, accumulates per-shard batches, and ships them over an mpsc
+//! channel; workers submit the batch to their engine's submission ring,
+//! run the flash + timing phases, drain the completion ring (with the
+//! buffer-reusing `drain_into`), and fold every completion into per-tenant
+//! accounting. An admission window (`max_inflight_batches`) keeps the
+//! open-loop generator from growing queues without bound.
+//!
+//! **Digest parity.** Workers process batches FIFO and each shard engine
+//! sees exactly the ops the monolithic engine's matching dies would see, in
+//! the same order, with the same per-die RNG streams — so the merged data
+//! digest ([`rd_engine::EngineStats::merge_shards`]) is bit-identical to a
+//! single-engine batch replay of the same op sequence. The integration
+//! suite and the `ext_serve_traffic` bench gate on this.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use rd_engine::{Engine, EngineConfig, EngineStats, ReqKind};
+use rd_ftl::FtlError;
+
+use crate::accounting::{TenantAccounting, TenantSummary};
+use crate::shard::ShardPlan;
+use crate::tenant::{ServiceOp, TenantConfig, Traffic};
+
+/// Service deployment parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Whole-array engine configuration (`die_index_offset` must be 0; the
+    /// plan derives per-shard configs from it).
+    pub engine: EngineConfig,
+    /// Number of shards (must divide the channel count).
+    pub shards: u32,
+    /// Ops gathered per shard batch before it ships to the worker.
+    pub batch_ops: usize,
+    /// Admission window: max batches in flight per shard before
+    /// `submit` backpressures the generator.
+    pub max_inflight_batches: u64,
+    /// Flash-phase worker threads inside each shard engine.
+    pub threads_per_shard: usize,
+}
+
+impl ServeConfig {
+    /// A small deterministic deployment for tests: 2 shards over the
+    /// engine's 2×2 `small_test` array.
+    pub fn small_test() -> Self {
+        Self {
+            engine: EngineConfig::small_test(),
+            shards: 2,
+            batch_ops: 64,
+            max_inflight_batches: 4,
+            threads_per_shard: 1,
+        }
+    }
+}
+
+/// One routed op inside a shard batch.
+#[derive(Debug, Clone, Copy)]
+struct ShardOp {
+    kind: ReqKind,
+    /// Shard-local logical page (already routed).
+    lpa: u64,
+    tenant: u16,
+}
+
+enum ShardMsg {
+    Batch(Vec<ShardOp>),
+    /// Snapshot request; the worker sends its report over the channel.
+    Report(Sender<ShardReport>),
+    Shutdown,
+}
+
+/// One shard's contribution to a service report.
+struct ShardReport {
+    stats: EngineStats,
+    tenants: Vec<TenantAccounting>,
+}
+
+struct ShardWorker {
+    sender: Sender<ShardMsg>,
+    handle: Option<JoinHandle<()>>,
+    /// Batch under construction for this shard.
+    pending: Vec<ShardOp>,
+    /// Batches shipped so far.
+    submitted: u64,
+    /// Batches the worker finished (shared with the worker thread).
+    completed: Arc<AtomicU64>,
+}
+
+fn shard_worker_loop(
+    mut engine: Engine,
+    inbox: Receiver<ShardMsg>,
+    completed: Arc<AtomicU64>,
+    tenants: usize,
+    flash_threads: usize,
+) {
+    let mut accounting: Vec<TenantAccounting> = vec![TenantAccounting::default(); tenants];
+    let mut scratch = Vec::new();
+    while let Ok(msg) = inbox.recv() {
+        match msg {
+            ShardMsg::Batch(batch) => {
+                let mut base_id = None;
+                for op in &batch {
+                    let id = engine.submit(op.kind, op.lpa);
+                    base_id.get_or_insert(id);
+                }
+                let base_id = base_id.unwrap_or(0);
+                engine.run(flash_threads);
+                scratch.clear();
+                engine.drain_completions_into(&mut scratch);
+                for completion in &scratch {
+                    let slot = (completion.id - base_id) as usize;
+                    let tenant = usize::from(batch[slot].tenant);
+                    accounting[tenant].record(completion);
+                }
+                completed.fetch_add(1, Ordering::Release);
+            }
+            ShardMsg::Report(reply) => {
+                let report = ShardReport { stats: engine.stats(), tenants: accounting.clone() };
+                // The service side may have dropped the reply receiver on a
+                // racing shutdown; nothing to do then.
+                let _ = reply.send(report);
+            }
+            ShardMsg::Shutdown => break,
+        }
+    }
+}
+
+/// The running sharded front-end.
+pub struct Service {
+    plan: ShardPlan,
+    config: ServeConfig,
+    tenants: Vec<TenantConfig>,
+    workers: Vec<ShardWorker>,
+    /// Host ops accepted so far.
+    ops_submitted: u64,
+}
+
+impl Service {
+    /// Builds the shard engines (on the calling thread, so flash init cost
+    /// is paid before traffic starts) and spawns one worker per shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine construction failures; panics on an invalid
+    /// shard/topology split (see [`ShardPlan::new`]).
+    pub fn start(config: ServeConfig, tenants: Vec<TenantConfig>) -> Result<Self, FtlError> {
+        assert!(!tenants.is_empty(), "need at least one tenant");
+        assert!(config.batch_ops > 0, "batch_ops must be positive");
+        assert!(config.max_inflight_batches > 0, "admission window must be positive");
+        let plan = ShardPlan::new(config.engine.topology, config.shards);
+        let mut workers = Vec::with_capacity(config.shards as usize);
+        for shard in 0..config.shards {
+            let engine = Engine::new(plan.shard_config(&config.engine, shard))?;
+            let (sender, inbox) = mpsc::channel();
+            let completed = Arc::new(AtomicU64::new(0));
+            let worker_completed = Arc::clone(&completed);
+            let tenant_count = tenants.len();
+            let flash_threads = config.threads_per_shard.max(1);
+            let handle = std::thread::Builder::new()
+                .name(format!("rd-serve-shard-{shard}"))
+                .spawn(move || {
+                    shard_worker_loop(engine, inbox, worker_completed, tenant_count, flash_threads)
+                })
+                .expect("spawn shard worker");
+            workers.push(ShardWorker {
+                sender,
+                handle: Some(handle),
+                pending: Vec::with_capacity(config.batch_ops),
+                submitted: 0,
+                completed,
+            });
+        }
+        Ok(Self { plan, config, tenants, workers, ops_submitted: 0 })
+    }
+
+    /// The shard plan in force.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Builds the deterministic multi-tenant arrival stream for this
+    /// deployment: the configured tenants over the array's full logical
+    /// address space, block-aligned to the die geometry. The same
+    /// `(tenants, seed)` always yields the same op sequence — replaying it
+    /// through a monolithic engine must reproduce this service's digest.
+    pub fn traffic(&self, seed: u64) -> Traffic {
+        Traffic::new(
+            &self.tenants,
+            seed,
+            self.config.engine.logical_pages(),
+            self.config.engine.die.geometry.pages_per_block(),
+        )
+    }
+
+    /// Tenant configurations, in tenant-index order.
+    pub fn tenants(&self) -> &[TenantConfig] {
+        &self.tenants
+    }
+
+    /// Host ops accepted so far.
+    pub fn ops_submitted(&self) -> u64 {
+        self.ops_submitted
+    }
+
+    /// Routes one op to its shard, shipping the shard's batch when full.
+    /// Blocks (spin-yield) while the shard's admission window is closed —
+    /// open-loop arrivals beyond the device's throughput become queueing
+    /// delay here instead of unbounded memory.
+    pub fn submit(&mut self, op: ServiceOp) {
+        let (shard, shard_lpa) = self.plan.route(op.lpa);
+        let worker = &mut self.workers[shard as usize];
+        worker.pending.push(ShardOp { kind: op.kind, lpa: shard_lpa, tenant: op.tenant });
+        self.ops_submitted += 1;
+        if worker.pending.len() >= self.config.batch_ops {
+            Self::ship(worker, self.config.max_inflight_batches, self.config.batch_ops);
+        }
+    }
+
+    fn ship(worker: &mut ShardWorker, window: u64, batch_ops: usize) {
+        while worker.submitted - worker.completed.load(Ordering::Acquire) >= window {
+            std::thread::yield_now();
+        }
+        let batch = std::mem::replace(&mut worker.pending, Vec::with_capacity(batch_ops));
+        worker.sender.send(ShardMsg::Batch(batch)).expect("shard worker alive");
+        worker.submitted += 1;
+    }
+
+    /// Ships every partially-filled batch and waits until all shards have
+    /// drained their queues.
+    pub fn flush(&mut self) {
+        for worker in &mut self.workers {
+            if !worker.pending.is_empty() {
+                Self::ship(worker, self.config.max_inflight_batches, self.config.batch_ops);
+            }
+        }
+        for worker in &self.workers {
+            while worker.completed.load(Ordering::Acquire) < worker.submitted {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Pulls `total_ops` arrivals from `traffic`, serves them, flushes, and
+    /// reports. The returned wall-clock seconds cover submit-to-drain.
+    pub fn run_traffic(&mut self, traffic: &mut Traffic, total_ops: u64) -> ServiceReport {
+        let started = Instant::now();
+        for _ in 0..total_ops {
+            let op = traffic.next().expect("traffic is infinite");
+            self.submit(op);
+        }
+        self.flush();
+        let wall_s = started.elapsed().as_secs_f64();
+        self.report(wall_s)
+    }
+
+    /// Collects per-shard stats and tenant accounting and merges them into
+    /// one array-wide report. `wall_s` is the measured serving wall time
+    /// (pass 0.0 for a pure state snapshot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker died (its report channel hangs up).
+    pub fn report(&mut self, wall_s: f64) -> ServiceReport {
+        self.flush();
+        let mut shard_stats = Vec::with_capacity(self.workers.len());
+        let mut tenant_accounting: Vec<TenantAccounting> =
+            vec![TenantAccounting::default(); self.tenants.len()];
+        for worker in &self.workers {
+            let (reply, receiver) = mpsc::channel();
+            worker.sender.send(ShardMsg::Report(reply)).expect("shard worker alive");
+            let shard = receiver.recv().expect("shard worker alive");
+            for (merged, part) in tenant_accounting.iter_mut().zip(&shard.tenants) {
+                merged.merge(part);
+            }
+            shard_stats.push(shard.stats);
+        }
+        let mut latency_sample: Vec<f64> = Vec::new();
+        for acct in &tenant_accounting {
+            latency_sample.extend_from_slice(&acct.latencies_us);
+        }
+        let stats = EngineStats::merge_shards(&shard_stats, &latency_sample);
+        let tenants: Vec<TenantSummary> = self
+            .tenants
+            .iter()
+            .zip(&tenant_accounting)
+            .map(|(config, acct)| acct.summary(&config.name))
+            .collect();
+        ServiceReport { stats, tenants, wall_s, shards: self.workers.len() as u32 }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            // The worker may already be gone if it panicked; ignore.
+            let _ = worker.sender.send(ShardMsg::Shutdown);
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Array-wide view of a service run: merged engine stats plus per-tenant
+/// summaries.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Merged engine statistics (digest, counters, simulated-time IOPS).
+    pub stats: EngineStats,
+    /// Per-tenant summaries, in tenant-index order.
+    pub tenants: Vec<TenantSummary>,
+    /// Wall-clock seconds of the measured serving window (0 for pure
+    /// snapshots).
+    pub wall_s: f64,
+    /// Shards that served the run.
+    pub shards: u32,
+}
+
+impl ServiceReport {
+    /// Aggregate host throughput against the wall clock (ops/s); 0 when no
+    /// window was measured.
+    pub fn wall_ops_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.stats.ops as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Multi-line JSON snapshot: one header object, then one object per
+    /// tenant (the snapshot-file format `rd-serve snapshot` writes).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            concat!(
+                "{{\"kind\":\"service\",\"shards\":{},\"ops\":{},",
+                "\"effective_ops\":{},\"wall_s\":{:.3},\"wall_ops_per_s\":{:.0},",
+                "\"data_digest\":\"{:016x}\",\"uber\":{:e},",
+                "\"p50_latency_us\":{:.3},\"p99_latency_us\":{:.3}}}\n"
+            ),
+            self.shards,
+            self.stats.ops,
+            self.stats.effective_ops(),
+            self.wall_s,
+            self.wall_ops_per_s(),
+            self.stats.data_digest,
+            self.stats.uber,
+            self.stats.latency_p50_us,
+            self.stats.latency_p99_us,
+        );
+        for tenant in &self.tenants {
+            out.push_str(&tenant.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tenants() -> Vec<TenantConfig> {
+        vec![
+            TenantConfig::new("web", "umass-web", 4000.0),
+            TenantConfig::new("mail", "postmark", 2000.0),
+        ]
+    }
+
+    #[test]
+    fn service_runs_traffic_and_accounts_every_op() {
+        let config = ServeConfig::small_test();
+        let mut service = Service::start(config, tenants()).unwrap();
+        let mut traffic = service.traffic(42);
+        let report = service.run_traffic(&mut traffic, 3000);
+        assert_eq!(report.stats.ops, 3000);
+        let tenant_ops: u64 = report.tenants.iter().map(|t| t.ops).sum();
+        assert_eq!(tenant_ops, 3000, "every completion must land in a tenant bucket");
+        assert_eq!(report.shards, 2);
+        assert!(report.wall_s > 0.0 && report.wall_ops_per_s() > 0.0);
+        assert!(report.tenants.iter().all(|t| t.p99_latency_us >= t.p50_latency_us));
+        let json = report.to_json();
+        assert!(json.contains("\"kind\":\"service\""), "{json}");
+        assert_eq!(json.lines().count(), 1 + report.tenants.len());
+    }
+
+    #[test]
+    fn service_is_deterministic_across_runs() {
+        let run = || {
+            let mut service = Service::start(ServeConfig::small_test(), tenants()).unwrap();
+            let mut t = service.traffic(7);
+            let report = service.run_traffic(&mut t, 2000);
+            (report.stats.data_digest, report.stats.ops, report.stats.reads)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn report_is_repeatable_when_idle() {
+        let mut service = Service::start(ServeConfig::small_test(), tenants()).unwrap();
+        let mut t = service.traffic(3);
+        service.run_traffic(&mut t, 1000);
+        let a = service.report(0.0);
+        let b = service.report(0.0);
+        assert_eq!(a.stats.data_digest, b.stats.data_digest);
+        assert_eq!(a.stats.ops, b.stats.ops);
+        assert_eq!(a.tenants, b.tenants);
+    }
+}

@@ -14,6 +14,7 @@ fn config() -> EngineConfig {
         timing: Timing::default(), // paper-era MLC: tR 50µs, tPROG 650µs, tBERS 3.5ms
         queue_depth: 16,
         capture_read_data: false,
+        die_index_offset: 0,
     }
 }
 

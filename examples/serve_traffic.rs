@@ -1,0 +1,94 @@
+//! Service-mode quickstart: run the `rd-serve` sharded multi-tenant
+//! front-end — two tenants with bursty open-loop arrivals over a
+//! 2-shard × (2-channel × 2-die) array on the `BlockAggregate` tier —
+//! then batch-replay the identical op sequence through one monolithic
+//! engine and assert the data digests are bit-identical (the scale-out
+//! correctness anchor). The CI `serve-smoke` job runs exactly this.
+//!
+//! Run with: `cargo run --release --example serve_traffic`
+
+use readdisturb::engine::{Engine, ReqKind};
+use readdisturb::prelude::*;
+use readdisturb::serve::ServiceOp;
+use readdisturb::workloads::{OpKind, TraceOp};
+
+const SEED: u64 = 2015;
+const OPS: u64 = 200_000;
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        topology: Topology { channels: 4, dies_per_channel: 2 },
+        die: SsdConfig::engine_scale(SEED).with_fidelity(ReadFidelity::BlockAggregate),
+        timing: Timing::default(),
+        queue_depth: 16,
+        capture_read_data: false,
+        die_index_offset: 0,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two tenants: a read-heavy web working set and a mixed mail workload,
+    // each with its own Zipf hot set and 4x burst surges.
+    let tenants = vec![
+        TenantConfig::new("web", "umass-web", 6000.0),
+        TenantConfig::new("mail", "postmark", 2500.0),
+    ];
+    let config = ServeConfig {
+        engine: engine_config(),
+        shards: 2,
+        batch_ops: 512,
+        max_inflight_batches: 4,
+        threads_per_shard: 1,
+    };
+
+    let mut service = Service::start(config, tenants.clone())?;
+    let mut traffic = service.traffic(SEED);
+    println!(
+        "serving {} ops from {} tenants over {} shards ({:.0} offered ops/s)...",
+        OPS,
+        tenants.len(),
+        service.plan().shards(),
+        traffic.offered_ops_per_s(),
+    );
+    let report = service.run_traffic(&mut traffic, OPS);
+    println!(
+        "service: {} ops ({} effective) in {:.0} ms wall -> {:.0} kIOPS aggregate, \
+         digest {:016x}",
+        report.stats.ops,
+        report.stats.effective_ops(),
+        report.wall_s * 1e3,
+        report.wall_ops_per_s() / 1e3,
+        report.stats.data_digest,
+    );
+    for tenant in &report.tenants {
+        println!(
+            "  tenant {:<6} ops {:<8} p50 {:>8.1} µs  p99 {:>8.1} µs  uber {:.3e}",
+            tenant.name, tenant.ops, tenant.p50_latency_us, tenant.p99_latency_us, tenant.uber,
+        );
+    }
+
+    // The parity check: regenerate the same deterministic arrival sequence
+    // and batch-replay it through one whole-array engine.
+    let replay_ops: Vec<TraceOp> = Service::start(service.config().clone(), tenants)?
+        .traffic(SEED)
+        .take(OPS as usize)
+        .map(|op: ServiceOp| TraceOp {
+            time_s: op.time_s,
+            kind: match op.kind {
+                ReqKind::Read => OpKind::Read,
+                ReqKind::Write => OpKind::Write,
+            },
+            lpa: op.lpa,
+        })
+        .collect();
+    let mut reference = Engine::new(engine_config())?;
+    let replayed = reference.replay_stats_only(replay_ops, 2);
+    println!("batch replay: {} ops, digest {:016x}", replayed.ops, replayed.data_digest);
+    assert_eq!(
+        report.stats.data_digest, replayed.data_digest,
+        "sharded service must land identical data to the monolithic batch replay"
+    );
+    assert_eq!(report.stats.ops, replayed.ops);
+    println!("digest parity: sharded service == monolithic batch replay");
+    Ok(())
+}

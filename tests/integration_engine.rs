@@ -22,6 +22,7 @@ fn engine_config(seed: u64, topology: Topology) -> EngineConfig {
         timing: Timing::default(),
         queue_depth: 8,
         capture_read_data: true,
+        die_index_offset: 0,
     }
 }
 

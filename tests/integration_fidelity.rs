@@ -33,6 +33,7 @@ fn engine_config(fidelity: ReadFidelity) -> EngineConfig {
         timing: Timing::default(),
         queue_depth: 16,
         capture_read_data: false,
+        die_index_offset: 0,
     }
     .with_fidelity(fidelity)
 }

@@ -137,6 +137,7 @@ fn stressed_replay(fidelity: ReadFidelity, threads: usize) -> EngineStats {
         timing: Timing::default(),
         queue_depth: 8,
         capture_read_data: false,
+        die_index_offset: 0,
     };
     let mut engine = Engine::new(config).unwrap();
     for d in 0..4 {
