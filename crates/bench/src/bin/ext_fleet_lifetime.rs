@@ -1,0 +1,184 @@
+//! Extension — fleet lifetime perf: advance an `rd-fleet` drive population
+//! through epoch-granular lifetime phases on the `BlockAggregate` tier and
+//! measure wall-clock epoch throughput plus the fleet UBER / refresh-amp /
+//! replacement trajectory.
+//!
+//! Emits rows to `target/figures/ext_fleet_lifetime.jsonl` and appends one
+//! entry (mode `fleet-quick` / `fleet-full`) to the `BENCH_PERF.json`
+//! trajectory, gated against the latest committed entry of the same mode.
+//!
+//! Built-in gates:
+//! - **Determinism** — the same config re-run at a different worker-thread
+//!   count must produce bit-identical fleet rows.
+//! - **Fixture restore parity** — the committed mid-life checkpoint
+//!   (`crates/fleet/fixtures/midlife.fleetsnap`, three epochs into the
+//!   quick config) must restore and, resumed to epoch six, reproduce the
+//!   committed baseline rows byte for byte. This pins both the checkpoint
+//!   wire format and the simulation physics; a PR that intentionally
+//!   changes either regenerates the fixture with `--regen-fixture`.
+//!
+//! Usage: `ext_fleet_lifetime [--quick] [--no-regression-gate] [--regen-fixture]`
+
+use std::time::Instant;
+
+use rd_bench::trajectory;
+use readdisturb::fleet::{Fleet, FleetConfig};
+
+/// The fixture config: `FleetConfig::quick()` frozen by the baseline file.
+const FIXTURE_EPOCHS: u32 = 3;
+const FIXTURE_TOTAL_EPOCHS: u32 = 6;
+
+fn fixture_dir() -> std::path::PathBuf {
+    // The bench crate lives in crates/bench; the fixture belongs to the
+    // fleet crate so its unit tests and CI share one artifact.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../fleet/fixtures")
+}
+
+fn regen_fixture() {
+    let dir = fixture_dir();
+    std::fs::create_dir_all(&dir).expect("create fixtures dir");
+    let mut fleet = Fleet::new(FleetConfig::quick()).expect("fixture fleet");
+    let mut baseline: Vec<String> = Vec::new();
+    for _ in 0..FIXTURE_TOTAL_EPOCHS {
+        baseline.push(fleet.epoch(1).to_json());
+        if fleet.epochs_done() == FIXTURE_EPOCHS {
+            let snap = fleet.snapshot().expect("fixture snapshot");
+            std::fs::write(dir.join("midlife.fleetsnap"), &snap).expect("write fixture");
+            println!("## wrote midlife.fleetsnap ({} bytes, epoch {FIXTURE_EPOCHS})", snap.len());
+        }
+    }
+    std::fs::write(dir.join("midlife.baseline.jsonl"), baseline.join("\n") + "\n")
+        .expect("write baseline");
+    println!("## wrote midlife.baseline.jsonl ({FIXTURE_TOTAL_EPOCHS} rows)");
+}
+
+/// Gate — the committed mid-life checkpoint restores and reproduces its
+/// committed trajectory exactly.
+fn fixture_restore_gate() {
+    let dir = fixture_dir();
+    let snap = std::fs::read(dir.join("midlife.fleetsnap")).expect("read midlife.fleetsnap");
+    let baseline: Vec<String> = std::fs::read_to_string(dir.join("midlife.baseline.jsonl"))
+        .expect("read midlife.baseline.jsonl")
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(baseline.len() as u32, FIXTURE_TOTAL_EPOCHS, "baseline row count");
+
+    let mut fleet = Fleet::restore(&snap).expect("restore mid-life fixture");
+    assert_eq!(fleet.epochs_done(), FIXTURE_EPOCHS, "fixture epoch count");
+    let resumed = fleet.run(FIXTURE_TOTAL_EPOCHS - FIXTURE_EPOCHS, 2, |_| {});
+    for (i, row) in resumed.iter().enumerate() {
+        let expected = &baseline[FIXTURE_EPOCHS as usize + i];
+        assert_eq!(
+            &row.to_json(),
+            expected,
+            "resumed fixture diverged from committed baseline at epoch {} — if this \
+             PR intentionally changed the checkpoint format or simulation physics, \
+             regenerate with `ext_fleet_lifetime --regen-fixture`",
+            row.epoch,
+        );
+    }
+    println!(
+        "## fixture gate: mid-life checkpoint (epoch {FIXTURE_EPOCHS}) resumed to epoch \
+         {FIXTURE_TOTAL_EPOCHS}, all rows match committed baseline"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--regen-fixture") {
+        regen_fixture();
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let gate_enabled = !args.iter().any(|a| a == "--no-regression-gate");
+    let (mode, config, epochs) = if quick {
+        ("fleet-quick", FleetConfig::quick(), 6u32)
+    } else {
+        let mut c = FleetConfig::quick();
+        c.drives = 8;
+        c.ops_per_epoch = 100_000;
+        ("fleet-full", c, 12u32)
+    };
+    let threads: usize = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // Read the baseline BEFORE appending this run's entry.
+    let perf_baseline = trajectory::latest_perf_host_kiops("BENCH_PERF", mode, "block-aggregate");
+
+    // Measured run.
+    let mut fleet = Fleet::new(config.clone()).expect("fleet");
+    let started = Instant::now();
+    let rows = fleet.run(epochs, threads, |_| {});
+    let wall_s = started.elapsed().as_secs_f64();
+
+    // Gate — determinism: a second run at a different thread count must be
+    // bit-identical, digests included.
+    let mut replica = Fleet::new(config.clone()).expect("replica fleet");
+    let replica_rows = replica.run(epochs, 1.max(threads / 2), |_| {});
+    assert_eq!(rows, replica_rows, "fleet rows depend on worker-thread count");
+
+    // Gate — the committed mid-life fixture restores and reproduces its
+    // committed trajectory.
+    fixture_restore_gate();
+
+    let last = rows.last().expect("at least one epoch");
+    let total_ops = u64::from(config.drives) * config.ops_per_epoch * u64::from(epochs);
+    let host_kiops = total_ops as f64 / wall_s / 1e3;
+    println!(
+        "## fleet[{mode}]: {host_kiops:.1} kIOPS host aggregate ({} drives x {} epochs x \
+         {} ops, {:.0} ms wall, {threads} threads)",
+        config.drives,
+        epochs,
+        config.ops_per_epoch,
+        wall_s * 1e3,
+    );
+    println!(
+        "## fleet[{mode}]: uber {:.3e}, refresh-amp {:.3}, waf {:.3}, {} replacements, \
+         digest {:016x}",
+        last.fleet_uber, last.refresh_amp, last.waf, last.replacements, last.digest,
+    );
+
+    // One gateable perf row plus the full epoch trajectory.
+    let mut out = vec![format!(
+        concat!(
+            "{{\"kind\":\"perf\",\"fidelity\":\"block-aggregate\",\"fleet\":true,",
+            "\"drives\":{},\"epochs\":{},\"trace_ops\":{},\"wall_ms\":{:.3},",
+            "\"host_kiops\":{:.2},\"fleet_uber\":{:e},\"refresh_amp\":{},",
+            "\"replacements\":{},\"digest\":\"{:016x}\"}}"
+        ),
+        config.drives,
+        epochs,
+        total_ops,
+        wall_s * 1e3,
+        host_kiops,
+        last.fleet_uber,
+        last.refresh_amp,
+        last.replacements,
+        last.digest,
+    )];
+    out.extend(rows.iter().map(|r| r.to_json()));
+    rd_bench::emit_jsonl("ext_fleet_lifetime", &out);
+
+    // Trajectory regression gate, then record the run (a failing run never
+    // installs its own baseline).
+    let tolerance = if quick { 0.60 } else { 0.20 };
+    match perf_baseline {
+        Some(base) if base > 0.0 => {
+            let floor = base * (1.0 - tolerance);
+            println!(
+                "## trajectory gate ({mode}): current {host_kiops:.1} kIOPS vs baseline \
+                 {base:.1} (floor {floor:.1})"
+            );
+            if gate_enabled {
+                assert!(
+                    host_kiops >= floor,
+                    "fleet throughput regressed >{:.0}%: {host_kiops:.1} kIOPS vs \
+                     trajectory baseline {base:.1}",
+                    tolerance * 100.0,
+                );
+            }
+        }
+        _ => println!("## trajectory gate ({mode}): no committed baseline; gate skipped"),
+    }
+    trajectory::append_run("BENCH_PERF", mode, &out);
+}

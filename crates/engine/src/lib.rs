@@ -37,8 +37,10 @@ pub mod stats;
 pub mod timing;
 pub mod topology;
 
-pub use engine::{Engine, EngineConfig, FastDiv};
+pub use engine::{Engine, EngineConfig, FastDiv, ENGINE_SNAP_MAGIC};
 pub use queue::{CompletionQueue, IoCompletion, IoRequest, ReqKind, SubmissionQueue};
+pub use rd_ftl::wire;
+pub use rd_ftl::SnapError;
 // Re-export: the per-die read-path fidelity knob (see `rd_flash::fidelity`).
 pub use rd_ftl::ReadFidelity;
 pub use stats::{fnv1a, percentiles_50_99, DieStats, EngineStats, FNV_OFFSET};

@@ -1,0 +1,107 @@
+//! Property suite for the engine checkpoint codec: encode→decode identity
+//! over arbitrary engine states, and rejection (typed errors, never a
+//! panic) of truncated, bit-flipped, and version-mismatched containers.
+
+use proptest::prelude::*;
+use rd_engine::{Engine, EngineConfig, ReadFidelity, SnapError, ENGINE_SNAP_MAGIC};
+use rd_workloads::WorkloadProfile;
+
+/// An engine in an "arbitrary" mid-life state: seeded geometry-default
+/// array, `ops` trace operations of a seeded workload replayed through it,
+/// at the chosen fidelity tier.
+fn arbitrary_engine(seed: u64, ops: usize, fidelity_tag: u8) -> Engine {
+    let fidelity = match fidelity_tag % 3 {
+        0 => ReadFidelity::CellExact,
+        1 => ReadFidelity::PageAnalytic,
+        _ => ReadFidelity::BlockAggregate,
+    };
+    let mut config = EngineConfig::small_test().with_fidelity(fidelity);
+    config.die.seed = seed;
+    let mut engine = Engine::new(config).expect("engine");
+    if ops > 0 {
+        let profile = WorkloadProfile::by_name("write-heavy").expect("profile");
+        let pages_per_block = engine.config().die.geometry.pages_per_block();
+        let trace = profile.generator(seed ^ 0xA5A5, pages_per_block).take(ops);
+        engine.replay_stats_only(trace, 1);
+    }
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Snapshot → restore → snapshot is the identity on the container
+    /// bytes, for arbitrary seeds, op counts, and fidelity tiers — the
+    /// restored engine is indistinguishable byte-for-byte from the one
+    /// that wrote the checkpoint.
+    #[test]
+    fn round_trip_is_identity(seed in any::<u64>(), ops in 0usize..400, tier in 0u8..3) {
+        let engine = arbitrary_engine(seed, ops, tier);
+        let snap = engine.snapshot().expect("queues are drained");
+
+        let mut config = EngineConfig::small_test().with_fidelity(match tier % 3 {
+            0 => ReadFidelity::CellExact,
+            1 => ReadFidelity::PageAnalytic,
+            _ => ReadFidelity::BlockAggregate,
+        });
+        config.die.seed = seed;
+        let mut restored = Engine::new(config).expect("engine");
+        restored.restore(&snap).expect("restore a valid container");
+        let second = restored.snapshot().expect("queues are drained");
+        prop_assert_eq!(&snap, &second);
+        prop_assert_eq!(
+            restored.stats().data_digest,
+            engine.stats().data_digest
+        );
+    }
+
+    /// Any strict prefix of a container is rejected with a typed error —
+    /// `Truncated` when even the header is gone, `BadCrc` once the
+    /// misaligned trailer fails the checksum — and never panics.
+    #[test]
+    fn truncation_is_rejected(seed in any::<u64>(), ops in 0usize..200, cut in 0usize..10_000) {
+        let engine = arbitrary_engine(seed, ops, 2);
+        let snap = engine.snapshot().expect("snapshot");
+        let cut = cut % snap.len();
+
+        let mut config = EngineConfig::small_test().with_fidelity(ReadFidelity::BlockAggregate);
+        config.die.seed = seed;
+        let mut victim = Engine::new(config).expect("engine");
+        let err = victim.restore(&snap[..cut]).expect_err("truncated container accepted");
+        match err {
+            SnapError::Truncated | SnapError::BadCrc => {}
+            other => prop_assert!(false, "unexpected error for cut {}: {:?}", cut, other),
+        }
+    }
+
+    /// Any single bit flip is caught — by the magic check if it lands in
+    /// the first 8 bytes, by the CRC everywhere else.
+    #[test]
+    fn bit_flips_are_rejected(seed in any::<u64>(), bit in 0usize..100_000) {
+        let engine = arbitrary_engine(seed, 64, 2);
+        let mut snap = engine.snapshot().expect("snapshot");
+        let bit = bit % (snap.len() * 8);
+        snap[bit / 8] ^= 1 << (bit % 8);
+
+        let mut config = EngineConfig::small_test().with_fidelity(ReadFidelity::BlockAggregate);
+        config.die.seed = seed;
+        let mut victim = Engine::new(config).expect("engine");
+        let err = victim.restore(&snap).expect_err("corrupt container accepted");
+        if bit / 8 < ENGINE_SNAP_MAGIC.len() {
+            prop_assert!(matches!(err, SnapError::BadMagic { .. }), "{:?}", err);
+        } else {
+            prop_assert!(matches!(err, SnapError::BadCrc), "{:?}", err);
+        }
+    }
+
+    /// A well-formed container (valid magic and CRC) of a future format
+    /// version is refused with `BadVersion` — not misparsed, not a panic.
+    #[test]
+    fn version_mismatch_is_a_typed_error(version in 2u32..=u32::MAX, junk in 0usize..256) {
+        let payload = vec![0xABu8; junk];
+        let snap = rd_engine::wire::seal(ENGINE_SNAP_MAGIC, version, &payload);
+        let mut victim = Engine::new(EngineConfig::small_test()).expect("engine");
+        let err = victim.restore(&snap).expect_err("future version accepted");
+        prop_assert_eq!(err, SnapError::BadVersion { found: version, expected: 1 });
+    }
+}

@@ -496,6 +496,87 @@ impl AggregateState {
         let (expected, bits) = self.rber_expectation(block);
         BitErrorStats::new(expected.round() as u64, bits)
     }
+
+    /// Serializes every mutable lane, caches included: fast-forward
+    /// summaries and sampling flags are part of the replay-visible state
+    /// (they gate when RNG draws happen), so bit-exact resume requires
+    /// them verbatim rather than recomputed.
+    pub(crate) fn encode_state(&self, w: &mut crate::wire::Writer) {
+        w.put_u64s(&self.pe_cycles);
+        w.put_f64s(&self.age_days);
+        w.put_u64s(&self.reads_since_erase);
+        w.put_f64s(&self.vpass);
+        w.put_f64s(&self.lin);
+        w.put_f64s(&self.slope);
+        w.put_f64s(&self.static_rber);
+        w.put_f64s(&self.blocked_prob);
+        w.put_u64s(&self.summary_errors);
+        w.put_u64s(&self.summary_horizon);
+        w.put_bools(&self.sampling);
+        w.put_bools(&self.programmed);
+        w.put_u32s(&self.programmed_count);
+    }
+
+    /// Restores lanes serialized by [`Self::encode_state`] into `self`,
+    /// which must have been constructed with the same geometry and model.
+    pub(crate) fn restore_state(
+        &mut self,
+        r: &mut crate::wire::Reader<'_>,
+    ) -> Result<(), crate::wire::SnapError> {
+        use crate::wire::SnapError;
+        let n = self.pe_cycles.len();
+        let pages = n * self.wordlines as usize * 2;
+        let pe_cycles = r.get_u64s()?;
+        let age_days = r.get_f64s()?;
+        let reads_since_erase = r.get_u64s()?;
+        let vpass = r.get_f64s()?;
+        let lin = r.get_f64s()?;
+        let slope = r.get_f64s()?;
+        let static_rber = r.get_f64s()?;
+        let blocked_prob = r.get_f64s()?;
+        let summary_errors = r.get_u64s()?;
+        let summary_horizon = r.get_u64s()?;
+        let sampling = r.get_bools()?;
+        let programmed = r.get_bools()?;
+        let programmed_count = r.get_u32s()?;
+        let block_lanes = [
+            pe_cycles.len(),
+            age_days.len(),
+            reads_since_erase.len(),
+            vpass.len(),
+            lin.len(),
+            slope.len(),
+            static_rber.len(),
+            blocked_prob.len(),
+            summary_errors.len(),
+            summary_horizon.len(),
+            sampling.len(),
+            programmed_count.len(),
+        ];
+        if block_lanes.iter().any(|&len| len != n) {
+            return Err(SnapError::Mismatch(format!("aggregate block lane length != {n} blocks")));
+        }
+        if programmed.len() != pages {
+            return Err(SnapError::Mismatch(format!(
+                "aggregate page lane {} != {pages}",
+                programmed.len()
+            )));
+        }
+        self.pe_cycles = pe_cycles;
+        self.age_days = age_days;
+        self.reads_since_erase = reads_since_erase;
+        self.vpass = vpass;
+        self.lin = lin;
+        self.slope = slope;
+        self.static_rber = static_rber;
+        self.blocked_prob = blocked_prob;
+        self.summary_errors = summary_errors;
+        self.summary_horizon = summary_horizon;
+        self.sampling = sampling;
+        self.programmed = programmed;
+        self.programmed_count = programmed_count;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

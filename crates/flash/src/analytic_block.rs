@@ -270,6 +270,79 @@ impl AnalyticBlock {
         self.page_programmed.get(page as usize).copied().unwrap_or(false)
     }
 
+    /// Serializes every mutable lane of the block (checkpointing support).
+    pub(crate) fn encode_state(&self, w: &mut crate::wire::Writer) {
+        w.put_u64(self.pe_cycles);
+        w.put_f64(self.age_days);
+        w.put_u64(self.reads_since_erase);
+        w.put_f64(self.vpass);
+        w.put_bools(&self.page_programmed);
+        w.put_u64(self.page_data.len() as u64);
+        for d in &self.page_data {
+            w.put_bytes(d);
+        }
+        w.put_f64(self.folded_lin);
+        w.put_f64s(&self.folded_extra);
+        w.put_f64(self.pending_reads);
+        w.put_f64s(&self.pending_extra);
+    }
+
+    /// Restores a block serialized by [`Self::encode_state`] into `self`,
+    /// which must have been constructed with the same geometry.
+    pub(crate) fn restore_state(
+        &mut self,
+        r: &mut crate::wire::Reader<'_>,
+    ) -> Result<(), crate::wire::SnapError> {
+        use crate::wire::SnapError;
+        let pages = self.wordlines as usize * 2;
+        let pe_cycles = r.get_u64()?;
+        let age_days = r.get_f64()?;
+        let reads_since_erase = r.get_u64()?;
+        let vpass = r.get_f64()?;
+        let page_programmed = r.get_bools()?;
+        if page_programmed.len() != pages {
+            return Err(SnapError::Mismatch(format!(
+                "analytic block page count {} != {}",
+                page_programmed.len(),
+                pages
+            )));
+        }
+        let n_data = r.get_u64()? as usize;
+        if n_data != pages {
+            return Err(SnapError::Mismatch(format!(
+                "analytic block payload count {n_data} != {pages}"
+            )));
+        }
+        let mut page_data = Vec::with_capacity(pages);
+        for _ in 0..pages {
+            page_data.push(r.get_bytes()?);
+        }
+        let folded_lin = r.get_f64()?;
+        let folded_extra = r.get_f64s()?;
+        let pending_reads = r.get_f64()?;
+        let pending_extra = r.get_f64s()?;
+        let wls = self.wordlines as usize;
+        if folded_extra.len() != wls || pending_extra.len() != wls {
+            return Err(SnapError::Mismatch(format!(
+                "analytic block wordline lanes {}/{} != {}",
+                folded_extra.len(),
+                pending_extra.len(),
+                wls
+            )));
+        }
+        self.pe_cycles = pe_cycles;
+        self.age_days = age_days;
+        self.reads_since_erase = reads_since_erase;
+        self.vpass = vpass;
+        self.page_programmed = page_programmed;
+        self.page_data = page_data;
+        self.folded_lin = folded_lin;
+        self.folded_extra = folded_extra;
+        self.pending_reads = pending_reads;
+        self.pending_extra = pending_extra;
+        Ok(())
+    }
+
     pub(crate) fn status(&self, model: &AnalyticModel) -> BlockStatus {
         BlockStatus {
             pe_cycles: self.pe_cycles,

@@ -10,6 +10,7 @@ use crate::error::FlashError;
 use crate::geometry::{PageAddr, PageKind};
 use crate::params::{ChipParams, NOMINAL_VPASS};
 use crate::state::CellState;
+use crate::wire::{Reader, SnapError, Writer};
 use crate::BitErrorStats;
 
 /// Snapshot of a block's operating state.
@@ -245,6 +246,53 @@ impl Block {
         self.cells.program_wordline(params, rng, wl, &states, self.pe_cycles);
         self.page_programmed[page as usize] = true;
         self.refresh_candidates_wordline(wl);
+        Ok(())
+    }
+
+    /// Serializes all mutable block state (checkpointing). Config-derived
+    /// constants (`candidate_floor`, geometry) are not written; the
+    /// pass-through candidate list *is*, verbatim, because its order depends
+    /// on the program history and the blocking decision walks it in order.
+    pub(crate) fn encode_state(&self, w: &mut Writer) {
+        w.put_u64(self.pe_cycles);
+        w.put_f64(self.dose);
+        w.put_f64s(&self.wordline_extra_dose);
+        w.put_f64(self.age_days);
+        w.put_u64(self.reads_since_erase);
+        w.put_f64(self.vpass);
+        w.put_bools(&self.page_programmed);
+        w.put_u32s(&self.candidates);
+        self.cells.encode_state(w);
+    }
+
+    /// Restores block state into a freshly built block of identical
+    /// geometry and parameters.
+    pub(crate) fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let pe_cycles = r.get_u64()?;
+        let dose = r.get_f64()?;
+        let wordline_extra_dose = r.get_f64s()?;
+        let age_days = r.get_f64()?;
+        let reads_since_erase = r.get_u64()?;
+        let vpass = r.get_f64()?;
+        let page_programmed = r.get_bools()?;
+        let candidates = r.get_u32s()?;
+        if wordline_extra_dose.len() != self.wordlines as usize
+            || page_programmed.len() != self.wordlines as usize * 2
+        {
+            return Err(SnapError::Mismatch("block wordline count differs".into()));
+        }
+        if candidates.iter().any(|&i| i as usize >= self.cells.len()) {
+            return Err(SnapError::Mismatch("candidate index out of range".into()));
+        }
+        self.cells.restore_state(r)?;
+        self.pe_cycles = pe_cycles;
+        self.dose = dose;
+        self.wordline_extra_dose = wordline_extra_dose;
+        self.age_days = age_days;
+        self.reads_since_erase = reads_since_erase;
+        self.vpass = vpass;
+        self.page_programmed = page_programmed;
+        self.candidates = candidates;
         Ok(())
     }
 

@@ -21,6 +21,7 @@ use rand::Rng;
 use crate::noise::{pe_cycling, read_disturb, retention};
 use crate::params::ChipParams;
 use crate::state::{CellState, ALL_STATES};
+use crate::wire::{Reader, SnapError, Writer};
 
 /// Block-level operating point under which cell voltages are evaluated.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -204,6 +205,43 @@ impl CellArray {
     /// [`crate::noise::read_disturb`]).
     pub(crate) fn passthrough_candidates(&self, floor: f64) -> Vec<u32> {
         (0..self.len() as u32).filter(|&i| self.base_vth[i as usize] as f64 > floor).collect()
+    }
+
+    /// Serializes the full per-cell state (checkpointing). Geometry is not
+    /// written — restore validates it against the live array instead.
+    pub(crate) fn encode_state(&self, w: &mut Writer) {
+        w.put_bytes(&self.intended);
+        w.put_f32s(&self.base_vth);
+        w.put_f32s(&self.leak);
+        w.put_f32s(&self.susceptibility);
+    }
+
+    /// Restores per-cell state into an array of identical geometry.
+    pub(crate) fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<(), SnapError> {
+        let intended = r.get_bytes()?;
+        let base_vth = r.get_f32s()?;
+        let leak = r.get_f32s()?;
+        let susceptibility = r.get_f32s()?;
+        let n = self.len();
+        if intended.len() != n
+            || base_vth.len() != n
+            || leak.len() != n
+            || susceptibility.len() != n
+        {
+            return Err(SnapError::Mismatch(format!(
+                "cell array holds {} cells, snapshot has {}",
+                n,
+                intended.len()
+            )));
+        }
+        if intended.iter().any(|&s| s > 3) {
+            return Err(SnapError::Mismatch("cell state index out of range".into()));
+        }
+        self.intended = intended;
+        self.base_vth = base_vth;
+        self.leak = leak;
+        self.susceptibility = susceptibility;
+        Ok(())
     }
 
     /// Fraction of cells intended per state (diagnostic helper).

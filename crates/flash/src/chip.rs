@@ -187,6 +187,95 @@ impl Chip {
         self.read_margin
     }
 
+    /// Serializes the chip's full mutable state — fidelity tag, RNG stream,
+    /// ECC-margin hint, and every block lane — into `w` (checkpointing
+    /// support; see [`crate::wire`]). Config-derived constants (geometry,
+    /// params, analytic model) are not written: restore targets a chip
+    /// rebuilt from the same configuration.
+    pub fn encode_state(&self, w: &mut crate::wire::Writer) {
+        let tag: u8 = match self.params.fidelity {
+            ReadFidelity::CellExact => 0,
+            ReadFidelity::PageAnalytic => 1,
+            ReadFidelity::BlockAggregate => 2,
+        };
+        w.put_u8(tag);
+        for word in self.rng.state() {
+            w.put_u64(word);
+        }
+        match self.read_margin {
+            Some(m) => {
+                w.put_bool(true);
+                w.put_u64(m);
+            }
+            None => w.put_bool(false),
+        }
+        match &self.storage {
+            Storage::Exact(blocks) => {
+                for b in blocks {
+                    b.encode_state(w);
+                }
+            }
+            Storage::Analytic { blocks, .. } => {
+                for b in blocks {
+                    b.encode_state(w);
+                }
+            }
+            Storage::Aggregate { state, .. } => state.encode_state(w),
+        }
+    }
+
+    /// Restores state serialized by [`Chip::encode_state`] into `self`,
+    /// which must have been constructed from the same configuration
+    /// (geometry, params, fidelity tier, any seed). After a successful
+    /// restore the chip continues bit-identically to the checkpointed one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SnapError::Mismatch`] when the snapshot's fidelity
+    /// tier or block-lane shapes disagree with this chip, and the usual
+    /// decode errors on truncated input.
+    pub fn restore_state(
+        &mut self,
+        r: &mut crate::wire::Reader<'_>,
+    ) -> Result<(), crate::wire::SnapError> {
+        use crate::wire::SnapError;
+        let tag = r.get_u8()?;
+        let expected: u8 = match self.params.fidelity {
+            ReadFidelity::CellExact => 0,
+            ReadFidelity::PageAnalytic => 1,
+            ReadFidelity::BlockAggregate => 2,
+        };
+        if tag != expected {
+            return Err(SnapError::Mismatch(format!(
+                "snapshot fidelity tag {tag} != chip tier {expected}"
+            )));
+        }
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = r.get_u64()?;
+        }
+        if rng_state == [0, 0, 0, 0] {
+            return Err(SnapError::Mismatch("all-zero RNG state".into()));
+        }
+        let read_margin = if r.get_bool()? { Some(r.get_u64()?) } else { None };
+        match &mut self.storage {
+            Storage::Exact(blocks) => {
+                for b in blocks.iter_mut() {
+                    b.restore_state(r)?;
+                }
+            }
+            Storage::Analytic { blocks, .. } => {
+                for b in blocks.iter_mut() {
+                    b.restore_state(r)?;
+                }
+            }
+            Storage::Aggregate { state, .. } => state.restore_state(r)?,
+        }
+        self.rng = StdRng::from_state(rng_state);
+        self.read_margin = read_margin;
+        Ok(())
+    }
+
     /// Creates a chip at an explicit fidelity tier (overriding
     /// [`ChipParams::fidelity`]).
     pub fn with_fidelity(

@@ -70,6 +70,7 @@ pub mod math;
 pub mod noise;
 pub mod params;
 pub mod state;
+pub mod wire;
 
 mod aggregate_block;
 mod analytic_block;
@@ -84,6 +85,7 @@ pub use fidelity::ReadFidelity;
 pub use geometry::{CellAddr, Geometry, PageAddr, PageKind, WordlineAddr};
 pub use params::{ChipParams, StateParams, NOMINAL_VPASS};
 pub use state::{CellState, StateRegion, VoltageRefs};
+pub use wire::SnapError;
 
 /// Measured raw bit error statistics for a region of the chip.
 ///

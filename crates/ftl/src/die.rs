@@ -212,6 +212,103 @@ impl<P: ControllerPolicy> Die<P> {
         (0..self.config.geometry.blocks).filter(|&b| self.map.valid_count(b) > 0).collect()
     }
 
+    /// Serializes the die's full mutable state — chip, mapping table,
+    /// allocator, statistics, data RNG, and clock — into `w` (checkpointing
+    /// support). Policy-internal state is **not** captured: the shipped
+    /// policies are either stateless or rebuild their view from the chip
+    /// counters restored here. Config-derived components (ECC model,
+    /// recovery ladder) are rebuilt by the constructor.
+    pub fn encode_state(&self, w: &mut rd_flash::wire::Writer) {
+        self.chip.encode_state(w);
+        self.map.encode_state(w);
+        self.stats.encode_state(w);
+        w.put_u32s(&self.free);
+        match self.active {
+            Some((block, page)) => {
+                w.put_bool(true);
+                w.put_u32(block);
+                w.put_u32(page);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_bool(self.in_gc);
+        match self.relocating {
+            Some(block) => {
+                w.put_bool(true);
+                w.put_u32(block);
+            }
+            None => w.put_bool(false),
+        }
+        for word in self.data_rng.state() {
+            w.put_u64(word);
+        }
+        w.put_f64(self.clock_days);
+        w.put_f64(self.next_day);
+    }
+
+    /// Restores state serialized by [`Self::encode_state`] into `self`,
+    /// which must have been constructed from the same [`SsdConfig`]. After
+    /// a successful restore the die continues bit-identically to the
+    /// checkpointed one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rd_flash::SnapError::Mismatch`] when the snapshot shape
+    /// disagrees with this die's configuration, and the usual decode errors
+    /// on truncated input.
+    pub fn restore_state(
+        &mut self,
+        r: &mut rd_flash::wire::Reader<'_>,
+    ) -> Result<(), rd_flash::SnapError> {
+        use rd_flash::SnapError;
+        self.chip.restore_state(r)?;
+        self.map.restore_state(r)?;
+        self.stats.restore_state(r)?;
+        let blocks = self.config.geometry.blocks;
+        let free = r.get_u32s()?;
+        if free.iter().any(|&b| b >= blocks) {
+            return Err(SnapError::Mismatch("free-list block out of range".into()));
+        }
+        let active = if r.get_bool()? {
+            let block = r.get_u32()?;
+            let page = r.get_u32()?;
+            // The cursor may equal pages_per_block(): a just-filled active
+            // block is retired lazily by the next allocation.
+            if block >= blocks || page > self.config.geometry.pages_per_block() {
+                return Err(SnapError::Mismatch("active write point out of range".into()));
+            }
+            Some((block, page))
+        } else {
+            None
+        };
+        let in_gc = r.get_bool()?;
+        let relocating = if r.get_bool()? {
+            let block = r.get_u32()?;
+            if block >= blocks {
+                return Err(SnapError::Mismatch("relocating block out of range".into()));
+            }
+            Some(block)
+        } else {
+            None
+        };
+        let mut rng_state = [0u64; 4];
+        for word in &mut rng_state {
+            *word = r.get_u64()?;
+        }
+        if rng_state == [0, 0, 0, 0] {
+            return Err(SnapError::Mismatch("all-zero data RNG state".into()));
+        }
+        self.free = free;
+        self.active = active;
+        self.in_gc = in_gc;
+        self.relocating = relocating;
+        self.data_rng = StdRng::from_state(rng_state);
+        self.clock_days = r.get_f64()?;
+        self.next_day = r.get_f64()?;
+        debug_assert!(self.map.check_consistency());
+        Ok(())
+    }
+
     /// Writes a logical page (host write). Fresh pseudo-random content is
     /// generated per write, as the paper's characterization does. Fires the
     /// policy's [`ControllerPolicy::on_program`] hook.
@@ -350,6 +447,17 @@ impl<P: ControllerPolicy> Die<P> {
             .filter(|&b| self.chip.block_status(b).map(|s| s.age_days >= interval).unwrap_or(false))
             .collect();
         for block in stale {
+            // Relocating an earlier stale block can trigger nested GC that
+            // evacuates this one (stale blocks are prime GC victims) — by
+            // now it may sit erased in the free pool, or have been
+            // re-allocated with fresh data. Refreshing it anyway would push
+            // a duplicate free-list entry (double-allocation corruption),
+            // so re-check staleness at use time: erase resets age.
+            let still_stale =
+                self.chip.block_status(block).map(|s| s.age_days >= interval).unwrap_or(false);
+            if !still_stale || self.free.contains(&block) {
+                continue;
+            }
             self.relocate_block(block, WriteClass::Refresh)?;
             self.stats.refreshes += 1;
         }
@@ -360,6 +468,12 @@ impl<P: ControllerPolicy> Die<P> {
     fn apply_action(&mut self, action: PolicyAction) -> Result<(), FtlError> {
         match action {
             PolicyAction::ReclaimBlock(block) => {
+                // An earlier action in the same batch can trigger GC that
+                // already evacuated this block; reclaiming it again would
+                // duplicate it in the free pool (double-allocation).
+                if self.free.contains(&block) {
+                    return Ok(());
+                }
                 self.relocate_block(block, WriteClass::Reclaim)?;
                 self.stats.reclaims += 1;
                 Ok(())
@@ -408,7 +522,16 @@ impl<P: ControllerPolicy> Die<P> {
                 }
                 self.active = None;
             }
-            if !self.in_gc && self.free.len() <= self.config.gc_free_threshold as usize {
+            // No GC while a relocation is in flight (its own, or refresh /
+            // policy reclaim): relocating one block consumes at most one
+            // free block transiently and returns one when it completes, so
+            // it never needs GC to make space — and on a fully-compacted
+            // device (every victim candidate fully valid) demanding GC
+            // progress mid-relocation fails spuriously with OutOfSpace.
+            if !self.in_gc
+                && self.relocating.is_none()
+                && self.free.len() <= self.config.gc_free_threshold as usize
+            {
                 self.garbage_collect()?;
             }
             let block = self.pop_coldest_free()?;
@@ -473,6 +596,10 @@ impl<P: ControllerPolicy> Die<P> {
         if self.active.map(|(b, _)| b) == Some(block) {
             self.active = None;
         }
+        debug_assert!(
+            !self.free.contains(&block),
+            "relocating block {block} would duplicate it in the free pool"
+        );
         let outer_relocating = self.relocating.replace(block);
         let result = self.relocate_block_inner(block, class);
         self.relocating = outer_relocating;
@@ -582,6 +709,31 @@ mod tests {
         // Refresh runs in place — no payloads needed.
         die.advance_time(8.0).unwrap();
         assert!(die.stats().refreshes > 0, "refresh missed on the aggregate die");
+        assert!(die.map().check_consistency());
+    }
+
+    #[test]
+    fn refresh_survives_nested_gc_of_stale_blocks() {
+        // Regression: daily maintenance snapshots the stale-block list up
+        // front, but relocating an early stale block can trigger nested GC
+        // that evacuates a later one. Refreshing that block anyway pushed a
+        // duplicate free-list entry, and the next allocation cycle handed
+        // the same block out twice (PageAlreadyProgrammed on page 0).
+        // Heavy overwrite traffic leaves many low-valid (prime GC victim)
+        // blocks that all go stale together on the first refresh day.
+        let mut die = Die::new(SsdConfig::small_test()).unwrap();
+        let pages = die.map().logical_pages();
+        for round in 0..8 {
+            for lpa in 0..pages {
+                die.write((lpa * 7 + round) % pages).unwrap();
+            }
+        }
+        die.advance_time(8.0).unwrap();
+        assert!(die.stats().refreshes > 0, "refresh never ran");
+        // The device must remain fully writable afterwards.
+        for lpa in 0..pages {
+            die.write(lpa).unwrap();
+        }
         assert!(die.map().check_consistency());
     }
 

@@ -58,7 +58,8 @@ pub use mapping::{PageMap, Ppa};
 pub use policy::{
     ControllerPolicy, NoMitigation, PolicyAction, PolicyContext, ReadReclaim, DAY_NS,
 };
-pub use rd_flash::ReadFidelity;
+pub use rd_flash::wire;
+pub use rd_flash::{ReadFidelity, SnapError};
 pub use recovery::{
     DisturbReRead, LadderOutcome, ReadResolution, RecoveryLadder, RecoveryStep, RecoveryStepReport,
     RetrySweep, StepAttempt,

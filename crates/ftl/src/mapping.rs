@@ -98,6 +98,70 @@ impl PageMap {
         self.pages_per_block
     }
 
+    /// Serializes the map (checkpointing support). Only the l2p table is
+    /// written: the reverse map and valid counts are derived mirrors and
+    /// are rebuilt on restore, consistent by construction.
+    pub fn encode_state(&self, w: &mut rd_flash::wire::Writer) {
+        w.put_u64(self.l2p.len() as u64);
+        for entry in &self.l2p {
+            match entry {
+                Some(ppa) => {
+                    w.put_bool(true);
+                    w.put_u32(ppa.block);
+                    w.put_u32(ppa.page);
+                }
+                None => w.put_bool(false),
+            }
+        }
+    }
+
+    /// Restores a map serialized by [`Self::encode_state`] into `self`,
+    /// which must have been constructed with the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rd_flash::SnapError::Mismatch`] on shape disagreement, an
+    /// out-of-range physical address, or a double-mapped physical page.
+    pub fn restore_state(
+        &mut self,
+        r: &mut rd_flash::wire::Reader<'_>,
+    ) -> Result<(), rd_flash::SnapError> {
+        use rd_flash::SnapError;
+        let n = r.get_u64()? as usize;
+        if n != self.l2p.len() {
+            return Err(SnapError::Mismatch(format!(
+                "logical page count {n} != {}",
+                self.l2p.len()
+            )));
+        }
+        let blocks = self.p2l.len();
+        let mut l2p = Vec::with_capacity(n);
+        let mut p2l: Vec<Vec<Option<u64>>> =
+            (0..blocks).map(|_| vec![None; self.pages_per_block as usize]).collect();
+        let mut valid_count = vec![0u32; blocks];
+        for lpa in 0..n {
+            if !r.get_bool()? {
+                l2p.push(None);
+                continue;
+            }
+            let ppa = Ppa { block: r.get_u32()?, page: r.get_u32()? };
+            if ppa.block as usize >= blocks || ppa.page >= self.pages_per_block {
+                return Err(SnapError::Mismatch(format!("ppa {ppa:?} out of range")));
+            }
+            let slot = &mut p2l[ppa.block as usize][ppa.page as usize];
+            if slot.is_some() {
+                return Err(SnapError::Mismatch(format!("ppa {ppa:?} double-mapped")));
+            }
+            *slot = Some(lpa as u64);
+            valid_count[ppa.block as usize] += 1;
+            l2p.push(Some(ppa));
+        }
+        self.l2p = l2p;
+        self.p2l = p2l;
+        self.valid_count = valid_count;
+        Ok(())
+    }
+
     /// Internal-consistency check: every l2p entry is mirrored in p2l and
     /// valid counts agree. Used by tests and debug assertions.
     pub fn check_consistency(&self) -> bool {

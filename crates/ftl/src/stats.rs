@@ -102,6 +102,75 @@ impl SsdStats {
         }
     }
 
+    /// Serializes every counter (checkpointing support). Full destructuring:
+    /// adding a field to [`SsdStats`] fails to compile here until the codec
+    /// learns about it.
+    pub fn encode_state(&self, w: &mut rd_flash::wire::Writer) {
+        let SsdStats {
+            host_writes,
+            gc_writes,
+            refresh_writes,
+            reclaim_writes,
+            erases,
+            host_reads,
+            uncorrectable_reads,
+            recovered_reads,
+            recovery_steps,
+            recovery_reads,
+            policy_probe_reads,
+            corrected_bits,
+            data_loss_relocations,
+            refreshes,
+            reclaims,
+        } = *self;
+        for v in [
+            host_writes,
+            gc_writes,
+            refresh_writes,
+            reclaim_writes,
+            erases,
+            host_reads,
+            uncorrectable_reads,
+            recovered_reads,
+            recovery_steps,
+            recovery_reads,
+            policy_probe_reads,
+            corrected_bits,
+            data_loss_relocations,
+            refreshes,
+            reclaims,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Restores counters serialized by [`Self::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode errors on truncated input.
+    pub fn restore_state(
+        &mut self,
+        r: &mut rd_flash::wire::Reader<'_>,
+    ) -> Result<(), rd_flash::SnapError> {
+        self.host_writes = r.get_u64()?;
+        self.gc_writes = r.get_u64()?;
+        self.refresh_writes = r.get_u64()?;
+        self.reclaim_writes = r.get_u64()?;
+        self.erases = r.get_u64()?;
+        self.host_reads = r.get_u64()?;
+        self.uncorrectable_reads = r.get_u64()?;
+        self.recovered_reads = r.get_u64()?;
+        self.recovery_steps = r.get_u64()?;
+        self.recovery_reads = r.get_u64()?;
+        self.policy_probe_reads = r.get_u64()?;
+        self.corrected_bits = r.get_u64()?;
+        self.data_loss_relocations = r.get_u64()?;
+        self.refreshes = r.get_u64()?;
+        self.reclaims = r.get_u64()?;
+        Ok(())
+    }
+
     /// Uncorrectable bit error rate over the host reads served. When ECC
     /// fails, the whole page is lost, so bits-lost over bits-read reduces
     /// exactly to uncorrectable page events per page read — page size

@@ -11,6 +11,7 @@
 //! | [`engine`] | multi-channel/multi-die SSD engine: request scheduling, die-level timing, parallel trace replay |
 //! | [`workloads`] | synthetic trace generators modelled on the paper's trace families |
 //! | [`serve`] | sharded async multi-tenant serving front-end over the engine |
+//! | [`fleet`] | fleet-scale lifetime simulation: varied drives, epoch phases, versioned checkpoint/restore |
 //! | [`core`] | **the paper's contribution**: Vpass Tuning, Read Disturb Recovery, the characterization harness, and the endurance evaluator |
 //! | [`dram`] | RowHammer module-population model (related-work Figs. 11–12) |
 //!
@@ -54,6 +55,8 @@ pub use rd_ecc as ecc;
 pub use rd_engine as engine;
 /// The flash device simulator.
 pub use rd_flash as flash;
+/// Fleet-scale lifetime simulation with checkpoint/restore.
+pub use rd_fleet as fleet;
 /// The SSD/FTL substrate.
 pub use rd_ftl as ftl;
 /// Sharded multi-tenant serving front-end.
@@ -73,6 +76,7 @@ pub mod prelude {
         AnalyticModel, BitErrorStats, CellState, Chip, ChipParams, Geometry, ReadFidelity,
         VoltageRefs, NOMINAL_VPASS,
     };
+    pub use rd_fleet::{Fleet, FleetConfig, FleetRow, VariationSpread};
     pub use rd_ftl::{
         ControllerPolicy, NoMitigation, ReadReclaim, ReadResolution, RecoveryLadder, RecoveryStep,
         Ssd, SsdConfig,
@@ -92,6 +96,7 @@ mod tests {
         let _ = crate::core::RdrConfig::default();
         let _ = crate::dram::ModulePopulation::paper_129(1);
         let _ = crate::engine::EngineConfig::small_test();
+        let _ = crate::fleet::FleetConfig::quick();
         let _ = crate::serve::ServeConfig::small_test();
     }
 }

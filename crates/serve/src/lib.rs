@@ -45,6 +45,6 @@ pub mod tenant;
 
 pub use accounting::{TenantAccounting, TenantSummary};
 pub use cli::{CliOptions, Command};
-pub use service::{ServeConfig, Service, ServiceReport};
+pub use service::{ServeConfig, Service, ServiceReport, SERVICE_SNAP_MAGIC, SERVICE_SNAP_VERSION};
 pub use shard::ShardPlan;
 pub use tenant::{ServiceOp, TenantConfig, Traffic};

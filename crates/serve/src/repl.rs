@@ -9,7 +9,10 @@
 //!   effect at the next service rebuild)
 //! * `tenant ls` — list configured tenants
 //! * `tier <fidelity>` — switch read fidelity (rebuilds the service)
-//! * `snapshot <path>` — write the current report as JSON
+//! * `snapshot <path>` — write a binary engine checkpoint (versioned,
+//!   CRC-guarded `RDSRVSNP` container; see [`crate::Service::checkpoint`])
+//! * `restore <path>` — restore the shard engines from such a checkpoint
+//!   (the deployment shape must match the one that wrote it)
 //! * `help`, `quit`
 
 use std::io::{BufRead, Write};
@@ -48,7 +51,8 @@ pub fn run_repl<R: BufRead, W: Write>(
                 writeln!(
                     out,
                     "commands: run [ops] | stats | tenant add <name> <profile> <rate> \
-                     [burst] | tenant ls | tier <fidelity> | snapshot <path> | help | quit"
+                     [burst] | tenant ls | tier <fidelity> | snapshot <path> | \
+                     restore <path> | help | quit"
                 )?;
                 writeln!(out, "{USAGE}")?;
             }
@@ -149,13 +153,27 @@ pub fn run_repl<R: BufRead, W: Write>(
             },
             ["snapshot", path] => match ensure_service(&mut service, &options, out)? {
                 None => {}
-                Some(service) => {
-                    let report = service.report(0.0);
-                    match std::fs::write(path, report.to_json()) {
-                        Ok(()) => writeln!(out, "wrote {path}")?,
+                Some(service) => match service.checkpoint() {
+                    Err(error) => writeln!(out, "error: checkpoint failed: {error}")?,
+                    Ok(bytes) => match std::fs::write(path, &bytes) {
+                        Ok(()) => writeln!(out, "wrote {path} ({} bytes)", bytes.len())?,
                         Err(error) => writeln!(out, "error: {path}: {error}")?,
-                    }
-                }
+                    },
+                },
+            },
+            ["restore", path] => match ensure_service(&mut service, &options, out)? {
+                None => {}
+                Some(service) => match std::fs::read(path) {
+                    Err(error) => writeln!(out, "error: {path}: {error}")?,
+                    Ok(bytes) => match service.restore(&bytes) {
+                        Ok(()) => writeln!(
+                            out,
+                            "restored {path}, digest {:016x}",
+                            service.report(0.0).stats.data_digest,
+                        )?,
+                        Err(error) => writeln!(out, "error: restore failed: {error}")?,
+                    },
+                },
             },
             _ => writeln!(out, "error: unknown command `{line}` (try help)")?,
         }
@@ -239,16 +257,37 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_writes_json() {
+    fn snapshot_and_restore_round_trip_a_binary_checkpoint() {
         let dir = std::env::temp_dir().join("rd_serve_repl_test");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("snap.json");
-        let script = format!("run 200\nsnapshot {}\nquit\n", path.display());
+        let path = dir.join("shards.snap");
+        let script = format!("run 200\nsnapshot {p}\nrestore {p}\nquit\n", p = path.display());
         let mut out = Vec::new();
         run_repl(small_options(), script.as_bytes(), &mut out).unwrap();
-        let snap = std::fs::read_to_string(&path).unwrap();
-        assert!(snap.contains("\"kind\":\"service\""), "{snap}");
-        assert!(snap.lines().count() >= 2, "header + tenants: {snap}");
+        let out = String::from_utf8(out).unwrap();
+        let snap = std::fs::read(&path).unwrap();
+        assert_eq!(&snap[..8], crate::SERVICE_SNAP_MAGIC, "binary container, not JSON");
+        assert!(out.contains("wrote"), "{out}");
+        assert!(out.contains("restored"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_of_garbage_is_diagnosed_not_fatal() {
+        let dir = std::env::temp_dir().join("rd_serve_repl_bad_restore");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.snap");
+        std::fs::write(&path, b"not a checkpoint").unwrap();
+        let script = format!("restore {}\nstats\nquit\n", path.display());
+        let (commands, out) = {
+            let mut out = Vec::new();
+            let commands =
+                run_repl(small_options(), script.as_bytes(), &mut out).expect("repl I/O");
+            (commands, String::from_utf8(out).unwrap())
+        };
+        assert_eq!(commands, 2);
+        assert!(out.contains("error: restore failed"), "{out}");
+        assert!(out.contains("array: 2 shards"), "loop must continue: {out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

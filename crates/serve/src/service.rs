@@ -23,7 +23,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use rd_engine::{Engine, EngineConfig, EngineStats, ReqKind};
+use rd_engine::wire::{self, Reader, Writer};
+use rd_engine::{Engine, EngineConfig, EngineStats, ReqKind, SnapError};
 use rd_ftl::FtlError;
 
 use crate::accounting::{TenantAccounting, TenantSummary};
@@ -61,6 +62,13 @@ impl ServeConfig {
     }
 }
 
+/// Container magic of a service checkpoint (see [`rd_ftl::wire`]).
+pub const SERVICE_SNAP_MAGIC: &[u8; 8] = b"RDSRVSNP";
+/// Current service checkpoint format version.
+pub const SERVICE_SNAP_VERSION: u32 = 1;
+/// Section tag: shard count + one engine container per shard.
+const SEC_SHARDS: u32 = 1;
+
 /// One routed op inside a shard batch.
 #[derive(Debug, Clone, Copy)]
 struct ShardOp {
@@ -74,6 +82,10 @@ enum ShardMsg {
     Batch(Vec<ShardOp>),
     /// Snapshot request; the worker sends its report over the channel.
     Report(Sender<ShardReport>),
+    /// Checkpoint request; the worker serializes its engine.
+    Snapshot(Sender<Result<Vec<u8>, SnapError>>),
+    /// Restore request; the worker rebuilds its engine from the bytes.
+    Restore(Vec<u8>, Sender<Result<(), SnapError>>),
     Shutdown,
 }
 
@@ -127,6 +139,12 @@ fn shard_worker_loop(
                 // The service side may have dropped the reply receiver on a
                 // racing shutdown; nothing to do then.
                 let _ = reply.send(report);
+            }
+            ShardMsg::Snapshot(reply) => {
+                let _ = reply.send(engine.snapshot());
+            }
+            ShardMsg::Restore(bytes, reply) => {
+                let _ = reply.send(engine.restore(&bytes));
             }
             ShardMsg::Shutdown => break,
         }
@@ -300,6 +318,81 @@ impl Service {
             .collect();
         ServiceReport { stats, tenants, wall_s, shards: self.workers.len() as u32 }
     }
+
+    /// Serializes every shard engine into one versioned, CRC-guarded
+    /// container (magic `RDSRVSNP`, built on [`rd_engine::wire`]). The
+    /// flash state round-trips bit-exactly: a service restored from these
+    /// bytes serves subsequent traffic with the same data digest as one
+    /// that never checkpointed.
+    ///
+    /// Tenant accounting (per-tenant op counts and latency samples) is
+    /// reporting state, not simulation state, and is **not** captured — a
+    /// restored service starts its accounting from zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker died.
+    pub fn checkpoint(&mut self) -> Result<Vec<u8>, SnapError> {
+        self.flush();
+        let mut shards = Vec::with_capacity(self.workers.len());
+        for worker in &self.workers {
+            let (reply, receiver) = mpsc::channel();
+            worker.sender.send(ShardMsg::Snapshot(reply)).expect("shard worker alive");
+            shards.push(receiver.recv().expect("shard worker alive")?);
+        }
+        let mut payload = Writer::new();
+        payload.section(SEC_SHARDS, |w| {
+            w.put_u32(shards.len() as u32);
+            for shard in &shards {
+                w.put_bytes(shard);
+            }
+        });
+        Ok(wire::seal(SERVICE_SNAP_MAGIC, SERVICE_SNAP_VERSION, &payload.into_bytes()))
+    }
+
+    /// Restores every shard engine from a [`Service::checkpoint`]
+    /// container. The running service must have the same deployment shape
+    /// (shard count, topology, fidelity, seeds) as the one that wrote the
+    /// checkpoint — each shard engine validates its config fingerprint and
+    /// returns [`SnapError::Mismatch`] otherwise.
+    ///
+    /// The container is fully decoded and CRC-checked before any shard is
+    /// touched, but a per-shard fingerprint mismatch surfaces only as that
+    /// shard restores — on error, earlier shards keep the restored state
+    /// and the service should be rebuilt before further use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker died.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        self.flush();
+        let payload = wire::open(bytes, SERVICE_SNAP_MAGIC, SERVICE_SNAP_VERSION)?;
+        let mut r = Reader::new(payload);
+        let mut sec = r.section(SEC_SHARDS)?;
+        let n = sec.get_u32()?;
+        if n as usize != self.workers.len() {
+            return Err(SnapError::Mismatch(format!(
+                "checkpoint has {n} shards but the service runs {}",
+                self.workers.len()
+            )));
+        }
+        let mut blobs = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            blobs.push(sec.get_bytes()?);
+        }
+        if !sec.is_empty() {
+            return Err(SnapError::Mismatch("trailing bytes in shard section".into()));
+        }
+        if !r.is_empty() {
+            return Err(SnapError::Mismatch("trailing bytes after shard section".into()));
+        }
+        for (worker, blob) in self.workers.iter().zip(blobs) {
+            let (reply, receiver) = mpsc::channel();
+            worker.sender.send(ShardMsg::Restore(blob, reply)).expect("shard worker alive");
+            receiver.recv().expect("shard worker alive")?;
+        }
+        Ok(())
+    }
 }
 
 impl Drop for Service {
@@ -407,6 +500,53 @@ mod tests {
             (report.stats.data_digest, report.stats.ops, report.stats.reads)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        // Serve a prefix, checkpoint, serve a suffix; a second service
+        // restored from the checkpoint must reproduce the suffix digest.
+        let mut service = Service::start(ServeConfig::small_test(), tenants()).unwrap();
+        let mut traffic = service.traffic(11);
+        service.run_traffic(&mut traffic, 1500);
+        let snap = service.checkpoint().unwrap();
+        assert_eq!(&snap[..8], SERVICE_SNAP_MAGIC);
+        let suffix: Vec<crate::tenant::ServiceOp> = (&mut traffic).take(1500).collect();
+        for op in &suffix {
+            service.submit(*op);
+        }
+        service.flush();
+        let reference = service.report(0.0);
+
+        let mut restored = Service::start(ServeConfig::small_test(), tenants()).unwrap();
+        restored.restore(&snap).unwrap();
+        for op in &suffix {
+            restored.submit(*op);
+        }
+        restored.flush();
+        let resumed = restored.report(0.0);
+        assert_eq!(resumed.stats.data_digest, reference.stats.data_digest);
+        assert_eq!(resumed.stats.uncorrectable_reads, reference.stats.uncorrectable_reads);
+        // Accounting is not captured: only the suffix is attributed.
+        assert_eq!(resumed.tenants.iter().map(|t| t.ops).sum::<u64>(), 1500);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_shape_and_corruption() {
+        let mut service = Service::start(ServeConfig::small_test(), tenants()).unwrap();
+        let mut traffic = service.traffic(5);
+        service.run_traffic(&mut traffic, 500);
+        let snap = service.checkpoint().unwrap();
+
+        let mut corrupt = snap.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x10;
+        assert_eq!(service.restore(&corrupt).err(), Some(SnapError::BadCrc));
+
+        let mut other_shape = ServeConfig::small_test();
+        other_shape.shards = 1;
+        let mut single = Service::start(other_shape, tenants()).unwrap();
+        assert!(matches!(single.restore(&snap).err(), Some(SnapError::Mismatch(_))));
     }
 
     #[test]

@@ -238,6 +238,25 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Exports the generator's internal state (checkpointing support:
+        /// a restored generator must continue the exact stream).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously exported state.
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which xoshiro cannot leave (and
+        /// which [`SeedableRng::seed_from_u64`] can never produce).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s != [0, 0, 0, 0], "xoshiro state must be nonzero");
+            Self { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
@@ -292,6 +311,18 @@ mod tests {
         }
         let mean = acc / 10_000.0;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn state_round_trip_continues_the_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
     }
 
     #[test]
