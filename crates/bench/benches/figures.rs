@@ -45,7 +45,7 @@ fn bench_figures(c: &mut Criterion) {
             // One grid point at quick scale (full grid in the fig10 binary).
             let rdr = Rdr::new(RdrConfig { extra_disturbs: 20_000, ..RdrConfig::default() });
             let mut chip = Chip::new(
-                Geometry { blocks: 1, wordlines_per_block: 16, bitlines: 1024 },
+                Geometry { blocks: 1, wordlines_per_block: 16, bitlines: 1024, bits_per_cell: 2 },
                 ChipParams::default(),
                 3,
             );

@@ -50,7 +50,7 @@ fn main() {
     // 4. Tuner step resolution: achieved reduction on a fresh 4K-P/E block.
     for step_frac in [0.0025, 0.005, 0.01, 0.02] {
         let mut chip = Chip::new(
-            Geometry { blocks: 1, wordlines_per_block: 32, bitlines: 64 * 1024 },
+            Geometry { blocks: 1, wordlines_per_block: 32, bitlines: 64 * 1024, bits_per_cell: 2 },
             ChipParams::default(),
             77,
         );

@@ -1,0 +1,176 @@
+//! Extension — the chip-matrix sweep: runs every chip-database entry (or
+//! one, via `--chip`) through the same three runtime gates CI's
+//! `chip-matrix` job enforces:
+//!
+//! 1. **anchor gate** — every calibration anchor declared in
+//!    `chips/vendors/*.ron` is re-evaluated against the *real*
+//!    [`AnalyticModel`] (not the build-time mirror inside `chips-codegen`)
+//!    and must land within 0.2 decades of its declared RBER;
+//! 2. **cross-tier parity** — the chip replays the shared Zipf read-heavy
+//!    trace on both analytic fidelity tiers, each replay must reproduce
+//!    bit-identically on re-run, and the two tiers' mean block RBER must
+//!    agree within 2× (on MLC parts the `CellExact` oracle joins the
+//!    comparison in full mode);
+//! 3. **scale sanity** — every measured replay must leave the array with a
+//!    nonzero, sub-1% mean block RBER (a mis-calibrated part shows up here
+//!    long before a figure does).
+//!
+//! Emits every row to `target/figures/ext_chip_sweep.jsonl` *and* appends
+//! one run entry per chip to the `BENCH_PERF.json` trajectory, keyed
+//! [`trajectory::mode_key`]-style: the default chip records under the bare
+//! `chip-matrix` mode, every other part under `chip-matrix+<name>` — so
+//! per-chip histories accumulate without touching the default lineage.
+//!
+//! Usage: `ext_chip_sweep [--quick] [--chip NAME]`
+
+use rd_bench::replay::{engine_config_for_chip, json_row, measure_replay_on, TRACE_SEED};
+use rd_bench::trajectory;
+use readdisturb::flash::chips::{self, ChipSpec};
+use readdisturb::prelude::*;
+use readdisturb::workloads::TraceOp;
+
+/// Matches the build-time anchor gate in `chips-codegen` (decades of RBER).
+const ANCHOR_TOL_DECADES: f64 = 0.2;
+
+/// Both analytic tiers must agree on a whole-array mean within this factor.
+const TIER_PARITY_FACTOR: f64 = 2.0;
+
+/// Sweep topology: small enough that the full 7-chip matrix stays fast,
+/// large enough that GC, refresh, and recovery all engage.
+const TOPOLOGY: (u32, u32) = (2, 2);
+
+fn chip_trace(pages_per_block: u32, ops: usize) -> Vec<TraceOp> {
+    let profile = WorkloadProfile::by_name("umass-web").expect("profile");
+    profile.generator(TRACE_SEED, pages_per_block).take(ops).collect()
+}
+
+/// Gate 1: the declared anchors against the real closed form. Returns the
+/// worst error in decades for the chip's BENCH row.
+fn check_anchors(spec: &ChipSpec) -> f64 {
+    let model = AnalyticModel::from_chip(&spec.params, 64);
+    let mut worst: f64 = 0.0;
+    for a in spec.anchors {
+        let got = model.rber(a.pe_cycles, a.days, a.reads, a.vpass);
+        let err = (got.log10() - a.rber.log10()).abs();
+        assert!(
+            err <= ANCHOR_TOL_DECADES,
+            "{}: anchor (pe={}, days={}, reads={}, vpass={}) declares {:.3e} but the model \
+             gives {:.3e} ({err:.3} decades, tolerance {ANCHOR_TOL_DECADES})",
+            spec.name,
+            a.pe_cycles,
+            a.days,
+            a.reads,
+            a.vpass,
+            a.rber,
+            got
+        );
+        worst = worst.max(err);
+    }
+    worst
+}
+
+/// Gates 2 and 3 for one chip: deterministic replays on every applicable
+/// tier, cross-tier RBER parity, and the scale sanity band. Returns the
+/// BENCH rows.
+fn sweep_chip(spec: &ChipSpec, ops: usize, include_exact: bool) -> Vec<String> {
+    let (channels, dies) = TOPOLOGY;
+    let mut tiers = vec![ReadFidelity::PageAnalytic, ReadFidelity::BlockAggregate];
+    if include_exact && spec.params.bits_per_cell() == 2 {
+        tiers.insert(0, ReadFidelity::CellExact);
+    }
+
+    let pages_per_block =
+        engine_config_for_chip(channels, dies, spec.name, tiers[0]).die.geometry.pages_per_block();
+    let trace = chip_trace(pages_per_block, ops);
+
+    let mut rows = Vec::new();
+    let mut rbers = Vec::new();
+    for &fidelity in &tiers {
+        let mut engine = Engine::new(engine_config_for_chip(channels, dies, spec.name, fidelity))
+            .expect("engine");
+        let m = measure_replay_on(&mut engine, &trace);
+        let mut rerun = Engine::new(engine_config_for_chip(channels, dies, spec.name, fidelity))
+            .expect("engine");
+        let m2 = measure_replay_on(&mut rerun, &trace);
+        assert_eq!(m.stats, m2.stats, "{}/{fidelity}: replay is not deterministic", spec.name);
+        assert!(
+            m.mean_block_rber > 0.0 && m.mean_block_rber < 1.0e-2,
+            "{}/{fidelity}: mean block RBER {:.3e} outside (0, 1e-2)",
+            spec.name,
+            m.mean_block_rber
+        );
+        rbers.push((fidelity, m.mean_block_rber));
+        rows.push(json_row("chip", ops, &m));
+    }
+
+    // Cross-tier parity: all measured tiers sample the same physics, so
+    // their whole-array means must agree within the sampling-noise window.
+    for window in rbers.windows(2) {
+        let [(fa, a), (fb, b)] = window else { unreachable!() };
+        let ratio = a / b;
+        assert!(
+            (1.0 / TIER_PARITY_FACTOR..=TIER_PARITY_FACTOR).contains(&ratio),
+            "{}: {fa} RBER {a:.3e} vs {fb} {b:.3e} (x{ratio:.2}) outside the \
+             {TIER_PARITY_FACTOR}x parity window",
+            spec.name
+        );
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--chip")
+        .map(|i| args.get(i + 1).expect("--chip requires a name").clone());
+    let ops = if quick { 4_000 } else { 20_000 };
+
+    let specs: Vec<ChipSpec> = match &only {
+        Some(name) => {
+            vec![chips::get(name).unwrap_or_else(|| {
+                panic!("unknown chip `{name}` (database has: {})", chips::names().join(", "))
+            })]
+        }
+        None => chips::all(),
+    };
+
+    let mut all_rows = Vec::new();
+    for spec in &specs {
+        let worst = check_anchors(spec);
+        println!(
+            "## {}: {} anchors within {ANCHOR_TOL_DECADES} decades (worst {worst:.3})",
+            spec.name,
+            spec.anchors.len()
+        );
+        let rows = sweep_chip(spec, ops, !quick);
+        let anchor_row = format!(
+            concat!(
+                "{{\"kind\":\"chip-anchors\",\"chip\":\"{}\",\"vendor\":\"{}\",",
+                "\"bits_per_cell\":{},\"anchors\":{},\"worst_err_decades\":{:.4}}}"
+            ),
+            spec.name,
+            spec.vendor,
+            spec.params.bits_per_cell(),
+            spec.anchors.len(),
+            worst,
+        );
+        let mut chip_rows = vec![anchor_row];
+        chip_rows.extend(rows);
+        trajectory::append_run(
+            "BENCH_PERF",
+            &trajectory::mode_key("chip-matrix", spec.name),
+            &chip_rows,
+        );
+        println!("## {}: cross-tier parity within {TIER_PARITY_FACTOR}x", spec.name);
+        all_rows.extend(chip_rows);
+    }
+
+    rd_bench::emit_jsonl("ext_chip_sweep", &all_rows);
+    println!(
+        "## chip matrix OK: {} chips x anchor gate + tier parity ({} rows)",
+        specs.len(),
+        all_rows.len()
+    );
+}

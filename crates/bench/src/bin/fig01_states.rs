@@ -17,6 +17,9 @@ fn main() {
     rd_bench::emit_csv("fig01_states", "state,mean,sigma,bits(lsb msb)", &rows);
     println!(
         "references: Va={} Vb={} Vc={}  nominal Vpass={}",
-        params.refs.va, params.refs.vb, params.refs.vc, NOMINAL_VPASS
+        params.refs.va(),
+        params.refs.vb(),
+        params.refs.vc(),
+        NOMINAL_VPASS
     );
 }

@@ -15,9 +15,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Population Vth of ER and P1 before and after 1M reads near Va.
     let refs = chip.params().refs;
-    let before = snapshot(&chip, refs.va);
+    let before = snapshot(&chip, refs.va());
     chip.apply_read_disturbs(0, 1_000_000)?;
-    let after = snapshot(&chip, refs.va);
+    let after = snapshot(&chip, refs.va());
 
     let rows = vec![
         format!("before,er_mean,{:.2}", before.0),

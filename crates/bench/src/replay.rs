@@ -43,6 +43,26 @@ pub fn engine_config(channels: u32, dies_per_channel: u32, fidelity: ReadFidelit
     .with_fidelity(fidelity)
 }
 
+/// [`engine_config`] rebuilt around a chip-database entry (the
+/// `ext_chip_sweep` matrix): geometry shape, GC settings, and seed are
+/// shared with [`engine_config`], while chip parameters and the ECC
+/// capability line come from the database entry.
+///
+/// # Panics
+///
+/// Panics on a chip name not in the database.
+pub fn engine_config_for_chip(
+    channels: u32,
+    dies_per_channel: u32,
+    chip: &str,
+    fidelity: ReadFidelity,
+) -> EngineConfig {
+    let mut config = engine_config(channels, dies_per_channel, fidelity);
+    config.die =
+        config.die.with_chip(chip).unwrap_or_else(|e| panic!("{e}")).with_fidelity(fidelity);
+    config
+}
+
 /// One measured replay: engine statistics plus wall-clock cost.
 #[derive(Debug, Clone)]
 pub struct ReplayMeasurement {
@@ -50,6 +70,8 @@ pub struct ReplayMeasurement {
     pub channels: u32,
     /// Topology: dies per channel.
     pub dies_per_channel: u32,
+    /// Chip-database entry the dies were built from.
+    pub chip: String,
     /// Fidelity tier the dies ran at.
     pub fidelity: ReadFidelity,
     /// Engine statistics after the replay.
@@ -104,6 +126,7 @@ pub fn measure_replay_on(engine: &mut Engine, ops: &[TraceOp]) -> ReplayMeasurem
     ReplayMeasurement {
         channels: topology.channels,
         dies_per_channel: topology.dies_per_channel,
+        chip: engine.config().die.chip.clone(),
         fidelity: engine.config().fidelity(),
         stats,
         wall_s,
@@ -227,6 +250,7 @@ pub fn json_row_with(kind: &str, trace_ops: usize, m: &ReplayMeasurement, extra:
     format!(
         concat!(
             "{{\"kind\":\"{}\",\"trace\":\"umass-web\",\"trace_ops\":{},",
+            "\"chip\":\"{}\",",
             "\"channels\":{},\"dies_per_channel\":{},\"dies\":{},\"fidelity\":\"{}\",",
             "\"ops\":{},\"reads\":{},\"writes\":{},",
             "\"wall_ms\":{:.3},\"host_kiops\":{:.2},\"sim_kiops\":{:.2},",
@@ -238,6 +262,7 @@ pub fn json_row_with(kind: &str, trace_ops: usize, m: &ReplayMeasurement, extra:
         ),
         kind,
         trace_ops,
+        m.chip,
         m.channels,
         m.dies_per_channel,
         s.dies,

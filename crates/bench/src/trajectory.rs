@@ -34,6 +34,18 @@ pub fn commit_key() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// The trajectory mode key for a `(mode, chip)` run: the default chip
+/// keeps the bare historical key (`"quick"`, `"full"`, …) so existing
+/// baselines keep gating it, while every other chip gets its own
+/// `"<mode>+<chip>"` lineage and can never shadow the default's history.
+pub fn mode_key(mode: &str, chip: &str) -> String {
+    if chip == readdisturb::flash::chips::DEFAULT_CHIP {
+        mode.to_string()
+    } else {
+        format!("{mode}+{chip}")
+    }
+}
+
 fn render_entry(commit: &str, mode: &str, rows: &[String]) -> String {
     let mut out = format!("  {{\"commit\":\"{commit}\",\"mode\":\"{mode}\",\"rows\":[\n");
     for (i, row) in rows.iter().enumerate() {
@@ -335,5 +347,12 @@ mod tests {
     #[test]
     fn commit_key_is_nonempty() {
         assert!(!commit_key().is_empty());
+    }
+
+    #[test]
+    fn default_chip_keeps_bare_mode_key() {
+        let default = readdisturb::flash::chips::DEFAULT_CHIP;
+        assert_eq!(mode_key("quick", default), "quick");
+        assert_eq!(mode_key("chip-matrix", "va-tlc-v3"), "chip-matrix+va-tlc-v3");
     }
 }

@@ -1,0 +1,121 @@
+//! Property tests for the chip-database codegen: random vendor files must
+//! survive a full serialize → parse round trip, and the emitter must stay
+//! loss-free on the float values it writes into generated Rust.
+
+use chips_codegen::{
+    parse_vendor_file, to_ron, AnchorDef, ChipDef, FidelityDef, StateDef, VendorFile,
+};
+use proptest::prelude::*;
+
+/// Builds a structurally valid chip (parseable; not necessarily passing
+/// database validation — round-tripping must not depend on validity).
+#[allow(clippy::too_many_arguments)]
+fn chip(
+    name_suffix: u32,
+    bits: u32,
+    base_mean: f64,
+    spacing: f64,
+    sigma: f64,
+    coeff: f64,
+    n_retry: usize,
+    n_anchors: usize,
+) -> ChipDef {
+    let n = 1usize << bits;
+    let states: Vec<StateDef> =
+        (0..n).map(|i| StateDef { mean: base_mean + spacing * i as f64, sigma }).collect();
+    let refs: Vec<f64> = (0..n - 1).map(|i| base_mean + spacing * (i as f64 + 0.5)).collect();
+    ChipDef {
+        name: format!("pt-chip-{name_suffix}"),
+        description: format!("proptest chip #{name_suffix}"),
+        default: name_suffix == 0,
+        fidelity: match bits {
+            2 => FidelityDef::CellExact,
+            3 => FidelityDef::PageAnalytic,
+            _ => FidelityDef::BlockAggregate,
+        },
+        ecc_capability_rber: coeff * 10.0,
+        states,
+        refs,
+        min_vpass: 460.0 + coeff,
+        pe_rber_coeff: coeff * 1.0e-4,
+        pe_rber_exp: 1.0 + coeff,
+        pe_sigma_widen_coeff: coeff * 0.1,
+        pe_sigma_widen_exp: 0.5 + coeff,
+        retention_rate: coeff * 1.0e-3,
+        retention_pe_exp: 1.0 + coeff,
+        retention_time_exp: coeff,
+        retention_leak_sigma_ln: coeff,
+        rd_alpha: coeff * 1.0e-6,
+        rd_kappa: 20.0 + coeff,
+        rd_pe_exp: 1.0 + coeff,
+        rd_pe_ref: 1000.0 + coeff,
+        rd_vpass_lambda: 3.0 + coeff,
+        rd_susceptibility_pareto_a: coeff,
+        rd_susceptibility_cap: 1.0e5,
+        rd_neighbor_boost: coeff,
+        outlier_prob: coeff * 1.0e-3,
+        outlier_base: 430.0 + coeff,
+        outlier_scale: 10.0 + coeff,
+        outlier_cap: 500.0 + coeff,
+        program_interference_sigma: coeff,
+        analytic_ret_coeff: coeff * 1.0e-5,
+        analytic_rd_slope: coeff * 1.0e-9,
+        analytic_rd_sat: coeff * 0.1,
+        retry_shifts: (1..=n_retry).map(|i| i as f64 * (1.0 + coeff)).collect(),
+        reread_va_raises: (1..=n_retry).map(|i| i as f64 * 7.0).collect(),
+        anchors: (0..n_anchors)
+            .map(|i| AnchorDef {
+                pe: 1000 * (i as u64 + 1),
+                days: i as f64 * coeff,
+                reads: 10_000 * i as u64,
+                vpass: 512.0 - i as f64,
+                rber: coeff * 1.0e-4 * (i + 1) as f64,
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn vendor_file_round_trips_through_ron(
+        n_chips in 1usize..4,
+        bits in 1u32..5,
+        base_mean in 20.0f64..50.0,
+        spacing in 25.0f64..120.0,
+        sigma in 2.0f64..16.0,
+        coeff in 0.01f64..0.99,
+        n_retry in 1usize..8,
+        n_anchors in 1usize..5,
+    ) {
+        let vf = VendorFile {
+            vendor: "vendor-pt".to_string(),
+            chips: (0..n_chips)
+                .map(|i| chip(i as u32, bits, base_mean, spacing, sigma, coeff, n_retry, n_anchors))
+                .collect(),
+        };
+        let ron = to_ron(&vf);
+        let back = parse_vendor_file(&ron, "roundtrip.ron")
+            .map_err(|d| TestCaseError::fail(format!("{d}")))?;
+        prop_assert_eq!(back, vf);
+        // Serialization is deterministic: a second trip is byte-identical.
+        let again = parse_vendor_file(&to_ron(&parse_vendor_file(&ron, "r2.ron").unwrap()), "r3.ron").unwrap();
+        prop_assert_eq!(to_ron(&again), ron);
+    }
+
+    #[test]
+    fn awkward_floats_survive_the_trip(
+        mantissa in 1.0f64..10.0,
+        exp in -12i32..3,
+    ) {
+        // Values like 7.158203125e-9 must reparse to the identical bits —
+        // the emitter relies on this for the bit-for-bit default chip.
+        let x = mantissa * 10f64.powi(exp);
+        let mut c = chip(0, 2, 40.0, 120.0, 12.0, 0.5, 3, 1);
+        c.pe_rber_coeff = x;
+        c.anchors[0].rber = x;
+        let vf = VendorFile { vendor: "vendor-pt".to_string(), chips: vec![c] };
+        let back = parse_vendor_file(&to_ron(&vf), "floats.ron").unwrap();
+        prop_assert_eq!(back.chips[0].pe_rber_coeff.to_bits(), x.to_bits());
+        prop_assert_eq!(back.chips[0].anchors[0].rber.to_bits(), x.to_bits());
+    }
+}

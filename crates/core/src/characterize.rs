@@ -34,7 +34,12 @@ impl Scale {
     }
 
     fn geometry(self) -> Geometry {
-        Geometry { blocks: 1, wordlines_per_block: self.wordlines, bitlines: self.bitlines }
+        Geometry {
+            blocks: 1,
+            wordlines_per_block: self.wordlines,
+            bitlines: self.bitlines,
+            bits_per_cell: 2,
+        }
     }
 
     fn chip(self, pe: u64, seed: u64) -> Result<Chip, CoreError> {
@@ -493,7 +498,12 @@ pub struct PartialBlockRow {
 /// Propagates flash addressing errors.
 pub fn ext_partial_block(scale: Scale, seed: u64) -> Result<Vec<PartialBlockRow>, CoreError> {
     let mut chip = Chip::new(
-        Geometry { blocks: 1, wordlines_per_block: scale.wordlines, bitlines: scale.bitlines },
+        Geometry {
+            blocks: 1,
+            wordlines_per_block: scale.wordlines,
+            bitlines: scale.bitlines,
+            bits_per_cell: 2,
+        },
         ChipParams::default(),
         seed,
     );

@@ -91,7 +91,13 @@ mod tests {
 
     fn tuning_ssd_config() -> SsdConfig {
         SsdConfig {
-            geometry: rd_flash::Geometry { blocks: 8, wordlines_per_block: 8, bitlines: 16 * 1024 },
+            chip: rd_flash::chips::DEFAULT_CHIP.to_string(),
+            geometry: rd_flash::Geometry {
+                blocks: 8,
+                wordlines_per_block: 8,
+                bitlines: 16 * 1024,
+                bits_per_cell: 2,
+            },
             overprovision: 0.25,
             gc_free_threshold: 2,
             refresh_interval_days: 7.0,

@@ -116,9 +116,9 @@ impl Rdr {
         // Phase 3: re-measure and classify.
         let refs = params.refs;
         let boundaries = [
-            (refs.va, CellState::Er, CellState::P1),
-            (refs.vb, CellState::P1, CellState::P2),
-            (refs.vc, CellState::P2, CellState::P3),
+            (refs.va(), CellState::Er, CellState::P1),
+            (refs.vb(), CellState::P1, CellState::P2),
+            (refs.vc(), CellState::P2, CellState::P3),
         ];
         let mut corrected = Vec::with_capacity(wordlines as usize);
         let mut reclassified = 0u64;

@@ -156,7 +156,7 @@ mod tests {
 
     fn stressed_chip(fidelity: ReadFidelity, pe: u64, disturbs: u64, days: f64) -> Chip {
         let mut chip = Chip::with_fidelity(
-            Geometry { blocks: 1, wordlines_per_block: 16, bitlines: 2048 },
+            Geometry { blocks: 1, wordlines_per_block: 16, bitlines: 2048, bits_per_cell: 2 },
             ChipParams::default(),
             31,
             fidelity,

@@ -97,9 +97,9 @@ impl Rfr {
 
         let refs = params.refs;
         let boundaries = [
-            (refs.va, CellState::Er, CellState::P1),
-            (refs.vb, CellState::P1, CellState::P2),
-            (refs.vc, CellState::P2, CellState::P3),
+            (refs.va(), CellState::Er, CellState::P1),
+            (refs.vb(), CellState::P1, CellState::P2),
+            (refs.vc(), CellState::P2, CellState::P3),
         ];
         let mut corrected = Vec::with_capacity(wordlines as usize);
         let mut reclassified = 0u64;

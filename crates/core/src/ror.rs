@@ -107,9 +107,9 @@ impl Ror {
             best.1
         };
 
-        let va = valley(defaults.va);
-        let vb = valley(defaults.vb).max(va + step);
-        let vc = valley(defaults.vc).max(vb + step);
+        let va = valley(defaults.va());
+        let vb = valley(defaults.vb()).max(va + step);
+        let vc = valley(defaults.vc()).max(vb + step);
         Ok(RorOutcome {
             refs: VoltageRefs::new(va, vb, vc),
             cells,
@@ -160,11 +160,11 @@ mod tests {
         let ror = Ror::default();
         let outcome = ror.optimize_wordline(&mut chip, 0, 3).unwrap();
         let r = outcome.refs;
-        assert!(r.va < r.vb && r.vb < r.vc);
+        assert!(r.va() < r.vb() && r.vb() < r.vc());
         let defaults = chip.params().refs;
-        assert!((r.va - defaults.va).abs() <= ror.config().search_window);
-        assert!((r.vb - defaults.vb).abs() <= ror.config().search_window);
-        assert!((r.vc - defaults.vc).abs() <= ror.config().search_window);
+        assert!((r.va() - defaults.va()).abs() <= ror.config().search_window);
+        assert!((r.vb() - defaults.vb()).abs() <= ror.config().search_window);
+        assert!((r.vc() - defaults.vc()).abs() <= ror.config().search_window);
         assert!(outcome.reads_spent > 0 && outcome.cells > 0);
     }
 
@@ -177,7 +177,7 @@ mod tests {
             chip.cycle_block(0, 8_000).unwrap();
             chip.program_block_random(0, 7).unwrap();
             chip.apply_read_disturbs(0, reads).unwrap();
-            ror.optimize_wordline(&mut chip, 0, 5).unwrap().refs.va
+            ror.optimize_wordline(&mut chip, 0, 5).unwrap().refs.va()
         };
         let fresh = va_at(0);
         let disturbed = va_at(1_000_000);

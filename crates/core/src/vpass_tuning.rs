@@ -270,7 +270,7 @@ mod tests {
     /// that the ECC margin behaves like the paper's Fig. 6 (C = 65 at the
     /// 1e-3 line, 52 usable).
     fn tuning_geometry() -> Geometry {
-        Geometry { blocks: 1, wordlines_per_block: 32, bitlines: 64 * 1024 }
+        Geometry { blocks: 1, wordlines_per_block: 32, bitlines: 64 * 1024, bits_per_cell: 2 }
     }
 
     fn chip_at(pe: u64, seed: u64) -> Chip {

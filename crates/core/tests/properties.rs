@@ -21,7 +21,7 @@ proptest! {
         days in 0.0f64..10.0,
     ) {
         let mut chip = Chip::new(
-            Geometry { blocks: 1, wordlines_per_block: 16, bitlines: 32 * 1024 },
+            Geometry { blocks: 1, wordlines_per_block: 16, bitlines: 32 * 1024, bits_per_cell: 2 },
             ChipParams::default(),
             seed,
         );

@@ -1,0 +1,41 @@
+//! Generates the typed chip database (`chips::spec` et al.) from
+//! `chips/vendors/*.ron` into `OUT_DIR/chip_db.rs`.
+//!
+//! Parsing, validation (including the calibration-anchor gate against the
+//! closed-form RBER model), and emission all live in the `chips-codegen`
+//! crate so CI can run the same checks standalone via
+//! `chips-codegen --check`.
+
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let manifest_dir = std::env::var("CARGO_MANIFEST_DIR").expect("cargo sets CARGO_MANIFEST_DIR");
+    let db_dir = Path::new(&manifest_dir).join("../../chips/vendors");
+    println!("cargo:rerun-if-changed={}", db_dir.display());
+
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&db_dir)
+        .unwrap_or_else(|e| panic!("chip database dir {}: {e}", db_dir.display()))
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "ron"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no vendor files in {}", db_dir.display());
+
+    let mut files = Vec::new();
+    for path in &paths {
+        println!("cargo:rerun-if-changed={}", path.display());
+        let src =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let vf = chips_codegen::parse_vendor_file(&src, &path.display().to_string())
+            .unwrap_or_else(|d| panic!("chip database parse error:\n{d}"));
+        files.push(vf);
+    }
+    if let Err(problems) = chips_codegen::validate(&files) {
+        panic!("chip database validation failed:\n{}", problems.join("\n"));
+    }
+
+    let code = chips_codegen::emit(&files);
+    let out =
+        PathBuf::from(std::env::var("OUT_DIR").expect("cargo sets OUT_DIR")).join("chip_db.rs");
+    std::fs::write(&out, code).unwrap_or_else(|e| panic!("{}: {e}", out.display()));
+}

@@ -55,6 +55,7 @@ const MARGIN_SLACK_BITS: f64 = 2.0;
 pub(crate) struct AggregateState {
     wordlines: u32,
     bitlines: u32,
+    bits_per_cell: u32,
     /// Cached `AnalyticParams::rd_sat` (the model is fixed per chip).
     rd_sat: f64,
     /// Per-wordline hammer weight (geometry constant): the block-mean
@@ -99,6 +100,7 @@ impl AggregateState {
         blocks: u32,
         wordlines: u32,
         bitlines: u32,
+        bits_per_cell: u32,
         params: &ChipParams,
         model: &AnalyticModel,
     ) -> Self {
@@ -114,6 +116,7 @@ impl AggregateState {
         let mut state = Self {
             wordlines,
             bitlines,
+            bits_per_cell,
             rd_sat: model.params().rd_sat,
             wl_weight,
             avg_weight,
@@ -128,7 +131,7 @@ impl AggregateState {
             summary_errors: vec![0; n],
             summary_horizon: vec![0; n],
             sampling: vec![false; n],
-            programmed: vec![false; n * w * 2],
+            programmed: vec![false; n * w * bits_per_cell as usize],
             programmed_count: vec![0; n],
         };
         for b in 0..n {
@@ -138,7 +141,7 @@ impl AggregateState {
     }
 
     fn pages(&self) -> u32 {
-        self.wordlines * 2
+        self.wordlines * self.bits_per_cell
     }
 
     fn check_page(&self, page: u32) -> Result<(), FlashError> {
@@ -265,7 +268,8 @@ impl AggregateState {
     ) -> Result<ReadOutcome, FlashError> {
         self.check_page(page)?;
         if disturb {
-            self.lin[block] += self.slope[block] * self.wl_weight[(page / 2) as usize];
+            self.lin[block] +=
+                self.slope[block] * self.wl_weight[(page / self.bits_per_cell) as usize];
             self.reads_since_erase[block] += 1;
         }
         if self.reads_since_erase[block] >= self.summary_horizon[block] {
@@ -302,7 +306,8 @@ impl AggregateState {
     ) -> Result<ReadOutcome, FlashError> {
         self.check_page(page)?;
         if disturb {
-            self.lin[block] += self.slope[block] * self.wl_weight[(page / 2) as usize];
+            self.lin[block] +=
+                self.slope[block] * self.wl_weight[(page / self.bits_per_cell) as usize];
             self.reads_since_erase[block] += 1;
         }
         let pe = self.pe_cycles[block];
@@ -471,9 +476,9 @@ impl AggregateState {
     /// of a block share the aggregate operating point.
     pub(crate) fn rber_wordline_oracle(&self, block: usize, wordline: u32) -> BitErrorStats {
         let base = block * self.pages() as usize;
-        let lsb_on = self.programmed[base + (wordline * 2) as usize];
-        let msb_on = self.programmed[base + (wordline * 2 + 1) as usize];
-        let pages = u64::from(lsb_on) + u64::from(msb_on);
+        let pages = (0..self.bits_per_cell)
+            .filter(|&k| self.programmed[base + (wordline * self.bits_per_cell + k) as usize])
+            .count() as u64;
         if pages == 0 {
             return BitErrorStats::default();
         }
@@ -525,7 +530,7 @@ impl AggregateState {
     ) -> Result<(), crate::wire::SnapError> {
         use crate::wire::SnapError;
         let n = self.pe_cycles.len();
-        let pages = n * self.wordlines as usize * 2;
+        let pages = n * self.pages() as usize;
         let pe_cycles = r.get_u64s()?;
         let age_days = r.get_f64s()?;
         let reads_since_erase = r.get_u64s()?;
@@ -587,7 +592,7 @@ mod tests {
     fn setup() -> (AggregateState, ChipParams, AnalyticModel, StdRng) {
         let params = ChipParams::default();
         let model = AnalyticModel::from_chip(&params, 8);
-        let state = AggregateState::new(2, 8, 1024, &params, &model);
+        let state = AggregateState::new(2, 8, 1024, 2, &params, &model);
         (state, params, model, StdRng::seed_from_u64(7))
     }
 
@@ -668,7 +673,7 @@ mod tests {
     #[test]
     fn matches_analytic_uniform_disturb_closed_form() {
         let (mut state, params, model, _) = setup();
-        let mut analytic = crate::analytic_block::AnalyticBlock::new(8, 1024);
+        let mut analytic = crate::analytic_block::AnalyticBlock::new(8, 1024, 2);
         analytic.pre_wear(8_000);
         state.pre_wear(&params, &model, 0, 8_000);
         program_all(&mut state, &params, &model);

@@ -64,22 +64,23 @@ impl AnalyticParams {
     /// number of unread wordlines per bitline).
     pub fn from_chip(chip: &ChipParams, wordlines_per_block: u32) -> Self {
         let w = wordlines_per_block.max(2) as f64;
-        // A blocked bitline senses as P3; averaged over the four intended
-        // states of the target cell and the two page kinds, half the sensed
-        // bits are wrong. Only P3 cells (1/4 of randomly-programmed data)
-        // carry the over-programmed tail.
-        let pt_amp_at_base = 0.5 * (w - 1.0) * 0.25 * chip.outlier_prob;
+        // A blocked bitline senses as the top state; averaged over the N
+        // intended states of the target cell and the page kinds, half the
+        // sensed bits are wrong (the Gray map splits bits evenly). Only
+        // top-state cells (1/N of randomly-programmed data) carry the
+        // over-programmed tail.
+        let pt_amp_at_base = 0.5 * (w - 1.0) * (1.0 / chip.n_states() as f64) * chip.outlier_prob;
         Self {
             pe_coeff: chip.pe_rber_coeff,
             pe_exp: chip.pe_rber_exp,
-            ret_coeff: 2.3e-6,
+            ret_coeff: chip.analytic_ret_coeff,
             ret_pe_exp: chip.retention_pe_exp,
             ret_time_exp: chip.retention_time_exp,
-            rd_slope_coeff: 1.0e-9,
+            rd_slope_coeff: chip.analytic_rd_slope,
             rd_pe_exp: chip.rd_pe_exp,
             rd_pe_ref: chip.rd_pe_ref,
             rd_lambda: chip.rd_vpass_lambda,
-            rd_sat: 2.0e-2,
+            rd_sat: chip.analytic_rd_sat,
             pt_amp: pt_amp_at_base,
             pt_v0: chip.outlier_base,
             pt_scale: chip.outlier_scale,

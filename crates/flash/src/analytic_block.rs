@@ -30,11 +30,9 @@ use crate::bits;
 use crate::block::BlockStatus;
 use crate::chip::ReadOutcome;
 use crate::error::FlashError;
-use crate::geometry::{PageAddr, PageKind};
 use crate::math::normal_q;
 use crate::noise::retention;
 use crate::params::{ChipParams, NOMINAL_VPASS};
-use crate::state::CellState;
 use crate::BitErrorStats;
 
 /// Per-bit error floor from programming-distribution tail overlap at the
@@ -44,28 +42,25 @@ use crate::BitErrorStats;
 /// The closed-form [`AnalyticModel`] is calibrated to the paper's measured
 /// curves from 2K P/E upward, where misprogram noise dominates; on a fresh
 /// block the Monte-Carlo chip still shows a small error floor from the
-/// Gaussian tails crossing the read references. Each of the three state
+/// Gaussian tails crossing the read references. Each of the `N - 1` state
 /// boundaries contributes its two one-sided tails; states are equiprobable
-/// (1/4) under random data and an adjacent-state misread flips exactly one
-/// of the cell's two bits (Gray coding), hence the 1/8 weight. A nonzero
-/// `shift` is the floor a read-retry re-read pays: away from the factory
-/// references, the tails of *undisturbed* states cross the shifted
-/// boundaries and misclassify.
+/// (`1/N`) under random data and an adjacent-state misread flips exactly
+/// one of the cell's `bits_per_cell` bits (Gray coding), hence the
+/// `1/(N * bits_per_cell)` weight (1/8 for MLC). A nonzero `shift` is the
+/// floor a read-retry re-read pays: away from the factory references, the
+/// tails of *undisturbed* states cross the shifted boundaries and
+/// misclassify.
 pub(crate) fn gaussian_tail_floor_shifted(params: &ChipParams, pe_cycles: u64, shift: f64) -> f64 {
     let refs = &params.refs;
-    let boundaries = [
-        (refs.va + shift, CellState::Er, CellState::P1),
-        (refs.vb + shift, CellState::P1, CellState::P2),
-        (refs.vc + shift, CellState::P2, CellState::P3),
-    ];
     let mut per_cell = 0.0;
-    for (vref, lo, hi) in boundaries {
-        let d_lo = params.state_dist(lo, pe_cycles);
-        let d_hi = params.state_dist(hi, pe_cycles);
+    for i in 0..refs.len() {
+        let vref = refs.level(i) + shift;
+        let d_lo = params.state_dist_index(i, pe_cycles);
+        let d_hi = params.state_dist_index(i + 1, pe_cycles);
         per_cell +=
             normal_q((vref - d_lo.mean) / d_lo.sigma) + normal_q((d_hi.mean - vref) / d_hi.sigma);
     }
-    per_cell / 8.0
+    per_cell / (params.n_states() as u32 * params.bits_per_cell()) as f64
 }
 
 /// E-folding scale (normalized volts) of a retry shift's effect on the
@@ -86,6 +81,7 @@ pub(crate) const RETRY_SHIFT_GAIN_CAP: f64 = 32.0;
 pub(crate) struct AnalyticBlock {
     wordlines: u32,
     bitlines: u32,
+    bits_per_cell: u32,
     pe_cycles: u64,
     age_days: f64,
     reads_since_erase: u64,
@@ -107,11 +103,12 @@ pub(crate) struct AnalyticBlock {
 }
 
 impl AnalyticBlock {
-    pub(crate) fn new(wordlines: u32, bitlines: u32) -> Self {
-        let pages = wordlines as usize * 2;
+    pub(crate) fn new(wordlines: u32, bitlines: u32, bits_per_cell: u32) -> Self {
+        let pages = wordlines as usize * bits_per_cell as usize;
         Self {
             wordlines,
             bitlines,
+            bits_per_cell,
             pe_cycles: 0,
             age_days: 0.0,
             reads_since_erase: 0,
@@ -123,6 +120,10 @@ impl AnalyticBlock {
             pending_reads: 0.0,
             pending_extra: vec![0.0; wordlines as usize],
         }
+    }
+
+    fn pages(&self) -> u32 {
+        self.wordlines * self.bits_per_cell
     }
 
     fn reset_after_erase(&mut self) {
@@ -294,7 +295,7 @@ impl AnalyticBlock {
         r: &mut crate::wire::Reader<'_>,
     ) -> Result<(), crate::wire::SnapError> {
         use crate::wire::SnapError;
-        let pages = self.wordlines as usize * 2;
+        let pages = self.pages() as usize;
         let pe_cycles = r.get_u64()?;
         let age_days = r.get_f64()?;
         let reads_since_erase = r.get_u64()?;
@@ -355,8 +356,8 @@ impl AnalyticBlock {
     }
 
     pub(crate) fn program_page(&mut self, page: u32, data: &[u8]) -> Result<(), FlashError> {
-        if page >= self.wordlines * 2 {
-            return Err(FlashError::PageOutOfRange { page, pages: self.wordlines * 2 });
+        if page >= self.pages() {
+            return Err(FlashError::PageOutOfRange { page, pages: self.pages() });
         }
         if self.page_programmed[page as usize] {
             return Err(FlashError::PageAlreadyProgrammed { page });
@@ -377,8 +378,8 @@ impl AnalyticBlock {
     }
 
     pub(crate) fn intended_page_bits(&self, page: u32) -> Result<Vec<u8>, FlashError> {
-        if page >= self.wordlines * 2 {
-            return Err(FlashError::PageOutOfRange { page, pages: self.wordlines * 2 });
+        if page >= self.pages() {
+            return Err(FlashError::PageOutOfRange { page, pages: self.pages() });
         }
         if !self.page_programmed[page as usize] {
             return Err(FlashError::PageNotProgrammed { page });
@@ -416,12 +417,11 @@ impl AnalyticBlock {
         shift: f64,
         disturb: bool,
     ) -> Result<ReadOutcome, FlashError> {
-        if page >= self.wordlines * 2 {
-            return Err(FlashError::PageOutOfRange { page, pages: self.wordlines * 2 });
+        if page >= self.pages() {
+            return Err(FlashError::PageOutOfRange { page, pages: self.pages() });
         }
-        let addr = PageAddr { block: 0, page };
-        let wl = addr.wordline();
-        let kind = addr.kind();
+        let wl = page / self.bits_per_cell;
+        let page_bit = (page % self.bits_per_cell) as usize;
         if disturb {
             self.hammer_wordline(params, wl, 1);
         }
@@ -442,13 +442,15 @@ impl AnalyticBlock {
         let mut blocked = 0u64;
         if p_block > 0.0 {
             blocked = sample_binomial(rng, self.bitlines as u64, p_block);
-            // A blocked bitline cannot conduct, so the cell senses as P3.
-            let p3_bit = match kind {
-                PageKind::Lsb => CellState::P3.lsb(),
-                PageKind::Msb => CellState::P3.msb(),
-            };
+            // A blocked bitline cannot conduct, so the cell senses as the
+            // top state (P3 on MLC).
+            let top_bit = crate::state::state_bit(
+                params.n_states() - 1,
+                page_bit,
+                self.bits_per_cell as usize,
+            );
             for_distinct_positions(rng, self.bitlines, blocked, |bl| {
-                bits::set_bit(&mut data, bl as usize, p3_bit);
+                bits::set_bit(&mut data, bl as usize, top_bit);
             });
         }
 
@@ -473,9 +475,9 @@ impl AnalyticBlock {
         model: &AnalyticModel,
         wordline: u32,
     ) -> BitErrorStats {
-        let lsb_on = self.page_programmed[(wordline * 2) as usize];
-        let msb_on = self.page_programmed[(wordline * 2 + 1) as usize];
-        let pages = u64::from(lsb_on) + u64::from(msb_on);
+        let pages = (0..self.bits_per_cell)
+            .filter(|&k| self.page_programmed[(wordline * self.bits_per_cell + k) as usize])
+            .count() as u64;
         if pages == 0 {
             return BitErrorStats::default();
         }
@@ -495,8 +497,9 @@ impl AnalyticBlock {
         let mut bits = 0u64;
         let p_block_err = 0.5 * self.blocked_prob(model);
         for wl in 0..self.wordlines {
-            let pages = u64::from(self.page_programmed[(wl * 2) as usize])
-                + u64::from(self.page_programmed[(wl * 2 + 1) as usize]);
+            let pages = (0..self.bits_per_cell)
+                .filter(|&k| self.page_programmed[(wl * self.bits_per_cell + k) as usize])
+                .count() as u64;
             if pages == 0 {
                 continue;
             }
@@ -566,7 +569,7 @@ mod tests {
     fn setup() -> (AnalyticBlock, ChipParams, AnalyticModel, StdRng) {
         let params = ChipParams::default();
         let model = AnalyticModel::from_chip(&params, 8);
-        (AnalyticBlock::new(8, 1024), params, model, StdRng::seed_from_u64(7))
+        (AnalyticBlock::new(8, 1024, 2), params, model, StdRng::seed_from_u64(7))
     }
 
     fn program_all(block: &mut AnalyticBlock, rng: &mut StdRng) {

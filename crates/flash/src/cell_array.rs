@@ -278,7 +278,7 @@ mod tests {
         let op = OperatingPoint::default();
         for (_, _, state, vth) in array.iter_cells(&params, op) {
             assert_eq!(state, CellState::Er);
-            assert!(vth < params.refs.va + 20.0, "erased cell at {vth}");
+            assert!(vth < params.refs.va() + 20.0, "erased cell at {vth}");
         }
     }
 

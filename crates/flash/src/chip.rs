@@ -134,11 +134,26 @@ impl Chip {
     /// # Panics
     ///
     /// Panics if the geometry has zero blocks or a bitline count that is not
-    /// a multiple of 8 (pages are exchanged as packed bytes).
+    /// a multiple of 8 (pages are exchanged as packed bytes), if the
+    /// geometry's `bits_per_cell` disagrees with the parameter set's state
+    /// count, or if a non-MLC chip is built at the per-cell Monte-Carlo
+    /// tier (the cell-exact model is MLC-native; TLC/QLC parts run on the
+    /// analytic tiers).
     pub fn new(geometry: Geometry, params: ChipParams, seed: u64) -> Self {
         assert!(geometry.blocks > 0, "chip needs at least one block");
         assert!(geometry.wordlines_per_block > 0, "blocks need wordlines");
         assert_eq!(geometry.bitlines % 8, 0, "bitlines must be a multiple of 8");
+        assert_eq!(
+            geometry.bits_per_cell,
+            params.bits_per_cell(),
+            "geometry bits_per_cell disagrees with the chip parameters' state count"
+        );
+        assert!(
+            params.fidelity != ReadFidelity::CellExact || params.n_states() == 4,
+            "the cell-exact tier is MLC-only ({} states requested); \
+             use PageAnalytic or BlockAggregate",
+            params.n_states()
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let storage = match params.fidelity {
             ReadFidelity::CellExact => Storage::Exact(
@@ -156,7 +171,13 @@ impl Chip {
             ReadFidelity::PageAnalytic => Storage::Analytic {
                 model: AnalyticModel::from_chip(&params, geometry.wordlines_per_block),
                 blocks: (0..geometry.blocks)
-                    .map(|_| AnalyticBlock::new(geometry.wordlines_per_block, geometry.bitlines))
+                    .map(|_| {
+                        AnalyticBlock::new(
+                            geometry.wordlines_per_block,
+                            geometry.bitlines,
+                            geometry.bits_per_cell,
+                        )
+                    })
                     .collect(),
             },
             ReadFidelity::BlockAggregate => {
@@ -165,6 +186,7 @@ impl Chip {
                     geometry.blocks,
                     geometry.wordlines_per_block,
                     geometry.bitlines,
+                    geometry.bits_per_cell,
                     &params,
                     &model,
                 );
@@ -867,7 +889,7 @@ mod tests {
     fn geometry_validation_on_construction() {
         let result = std::panic::catch_unwind(|| {
             Chip::new(
-                Geometry { blocks: 1, wordlines_per_block: 4, bitlines: 12 },
+                Geometry { blocks: 1, wordlines_per_block: 4, bitlines: 12, bits_per_cell: 2 },
                 ChipParams::default(),
                 0,
             )
@@ -932,7 +954,7 @@ mod tests {
     #[test]
     fn histogram_shows_four_modes() {
         let mut chip = Chip::new(
-            Geometry { blocks: 1, wordlines_per_block: 16, bitlines: 2048 },
+            Geometry { blocks: 1, wordlines_per_block: 16, bitlines: 2048, bits_per_cell: 2 },
             ChipParams::default(),
             5,
         );

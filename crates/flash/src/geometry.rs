@@ -6,6 +6,12 @@
 //! page — one bit of every cell belonging to each. A read of one wordline
 //! applies `Vpass` to every *other* wordline of the block, which is the root
 //! cause of read disturb.
+//!
+//! [`Geometry::bits_per_cell`] generalizes the pages-per-wordline count so
+//! the chip database can describe TLC (3) and QLC (4) parts; the
+//! [`PageAddr`] LSB/MSB helpers remain the MLC vocabulary the cell-exact
+//! tier uses, while [`Geometry::wordline_of_page`]/[`Geometry::page_bit`]
+//! address any state count.
 
 use crate::error::FlashError;
 
@@ -33,30 +39,33 @@ pub struct Geometry {
     pub wordlines_per_block: u32,
     /// Cells per wordline (= number of bitlines of the block).
     pub bitlines: u32,
+    /// Bits stored per cell (= pages per wordline): 2 for MLC, 3 for TLC,
+    /// 4 for QLC. Must match the chip parameters' state count.
+    pub bits_per_cell: u32,
 }
 
 impl Geometry {
-    /// A realistic single-die shape: 64 wordlines × 16,384 bitlines
+    /// A realistic single-die MLC shape: 64 wordlines × 16,384 bitlines
     /// (2 KiB per page, 128 pages and 256 KiB of data per block).
     pub fn standard() -> Self {
-        Self { blocks: 8, wordlines_per_block: 64, bitlines: 16 * 1024 }
+        Self { blocks: 8, wordlines_per_block: 64, bitlines: 16 * 1024, bits_per_cell: 2 }
     }
 
-    /// A small shape for unit tests and doc tests.
+    /// A small MLC shape for unit tests and doc tests.
     pub fn small() -> Self {
-        Self { blocks: 4, wordlines_per_block: 8, bitlines: 512 }
+        Self { blocks: 4, wordlines_per_block: 8, bitlines: 512, bits_per_cell: 2 }
     }
 
-    /// A single-block shape sized for characterization experiments: keeps
-    /// per-figure Monte-Carlo runs fast while leaving enough cells
+    /// A single-block MLC shape sized for characterization experiments:
+    /// keeps per-figure Monte-Carlo runs fast while leaving enough cells
     /// (64 × 4096 = 256 Ki cells) for RBER resolution down to ~1e-5.
     pub fn characterization() -> Self {
-        Self { blocks: 1, wordlines_per_block: 64, bitlines: 4096 }
+        Self { blocks: 1, wordlines_per_block: 64, bitlines: 4096, bits_per_cell: 2 }
     }
 
-    /// Pages per block (2 pages per wordline in MLC).
+    /// Pages per block (`bits_per_cell` pages per wordline).
     pub fn pages_per_block(&self) -> u32 {
-        self.wordlines_per_block * 2
+        self.wordlines_per_block * self.bits_per_cell
     }
 
     /// Cells per block.
@@ -71,7 +80,19 @@ impl Geometry {
 
     /// Bits of user data per block.
     pub fn bits_per_block(&self) -> usize {
-        self.cells_per_block() * 2
+        self.cells_per_block() * self.bits_per_cell as usize
+    }
+
+    /// The wordline backing a page index (pages of a wordline are
+    /// consecutive: page `w * bits_per_cell + k` is bit-kind `k` of
+    /// wordline `w`).
+    pub fn wordline_of_page(&self, page: u32) -> u32 {
+        page / self.bits_per_cell
+    }
+
+    /// The bit position within the cell (0 = LSB page) a page index maps to.
+    pub fn page_bit(&self, page: u32) -> u32 {
+        page % self.bits_per_cell
     }
 
     /// Validates a block index.
@@ -127,13 +148,14 @@ pub struct PageAddr {
 }
 
 impl PageAddr {
-    /// The wordline backing this page: pages are interleaved
-    /// (page `2w` = LSB of wordline `w`, page `2w + 1` = MSB).
+    /// The wordline backing this page on an MLC part: pages are interleaved
+    /// (page `2w` = LSB of wordline `w`, page `2w + 1` = MSB). Non-MLC
+    /// parts address pages via [`Geometry::wordline_of_page`].
     pub fn wordline(&self) -> u32 {
         self.page / 2
     }
 
-    /// Whether this page is the LSB or MSB page of its wordline.
+    /// Whether this page is the LSB or MSB page of its wordline (MLC).
     pub fn kind(&self) -> PageKind {
         if self.page.is_multiple_of(2) {
             PageKind::Lsb
@@ -142,7 +164,7 @@ impl PageAddr {
         }
     }
 
-    /// Builds the page address backed by `(wordline, kind)`.
+    /// Builds the page address backed by `(wordline, kind)` on an MLC part.
     pub fn of(block: u32, wordline: u32, kind: PageKind) -> Self {
         let page = wordline * 2 + u32::from(kind == PageKind::Msb);
         Self { block, page }
@@ -171,6 +193,7 @@ mod tests {
             let addr = PageAddr { block: 0, page };
             let rebuilt = PageAddr::of(0, addr.wordline(), addr.kind());
             assert_eq!(rebuilt, addr);
+            assert_eq!(g.wordline_of_page(page), addr.wordline());
         }
     }
 
@@ -189,6 +212,15 @@ mod tests {
         assert_eq!(g.cells_per_block(), 64 * 16384);
         assert_eq!(g.bits_per_block(), g.cells_per_block() * 2);
         assert_eq!(g.bits_per_page() * g.pages_per_block() as usize, g.bits_per_block());
+    }
+
+    #[test]
+    fn tlc_geometry_counts() {
+        let g = Geometry { bits_per_cell: 3, ..Geometry::small() };
+        assert_eq!(g.pages_per_block(), 24);
+        assert_eq!(g.bits_per_block(), g.cells_per_block() * 3);
+        assert_eq!(g.wordline_of_page(7), 2);
+        assert_eq!(g.page_bit(7), 1);
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod analytic;
 pub mod bits;
 pub mod cell_array;
 pub mod chip;
+pub mod chips;
 pub mod error;
 pub mod fidelity;
 pub mod geometry;

@@ -4,6 +4,13 @@
 //! paper (see `DESIGN.md` §4 and `EXPERIMENTS.md` for the paper-vs-measured
 //! record). The voltage scale is the paper's normalization: GND = 0 and the
 //! nominal pass-through voltage = 512 (§2).
+//!
+//! [`ChipParams::default`] is the calibrated 2Y-nm MLC set; the chip
+//! database (`rd_flash::chips`, generated from `chips/vendors/*.ron`)
+//! provides named parameter sets for other vendors, nodes, and state counts
+//! (TLC/QLC). The state list is variable-length for that reason — the
+//! per-cell Monte-Carlo tier stays MLC-native, the analytic tiers accept any
+//! power-of-two state count.
 
 use crate::fidelity::ReadFidelity;
 use crate::state::{CellState, VoltageRefs};
@@ -23,13 +30,16 @@ pub struct StateParams {
 
 /// Full parameter set of the simulated chip.
 ///
-/// Construct via [`ChipParams::default`] (calibrated 2Y-nm MLC model) and
+/// Construct via [`ChipParams::default`] (calibrated 2Y-nm MLC model), look
+/// one up by name in the generated chip database ([`crate::chips`]), or
 /// adjust individual fields for ablation studies.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChipParams {
-    /// Programming distributions for ER, P1, P2, P3 (index = state index).
-    pub states: [StateParams; 4],
-    /// Default read-reference voltages.
+    /// Programming distributions in threshold-voltage order (MLC: ER, P1,
+    /// P2, P3). The length must be a power of two (2/4/8/16 for
+    /// SLC/MLC/TLC/QLC) and match `refs.n_states()`.
+    pub states: Vec<StateParams>,
+    /// Default read-reference voltages (`states.len() - 1` boundaries).
     pub refs: VoltageRefs,
     /// Lowest pass-through voltage the tuning interface accepts. Real
     /// read-retry ranges bound how far Vref (and hence the mimicked Vpass)
@@ -109,9 +119,9 @@ pub struct ChipParams {
     pub rd_neighbor_boost: f64,
 
     // --- Over-programmed outliers (pass-through errors) --------------------
-    /// Probability that a P3 cell lands in the over-programmed exponential
-    /// tail; these are the cells that block bitlines when Vpass is relaxed
-    /// (Fig. 5).
+    /// Probability that a top-state cell lands in the over-programmed
+    /// exponential tail; these are the cells that block bitlines when Vpass
+    /// is relaxed (Fig. 5).
     pub outlier_prob: f64,
     /// Lower edge of the outlier tail (normalized volts).
     pub outlier_base: f64,
@@ -129,16 +139,64 @@ pub struct ChipParams {
     /// Extra Gaussian sigma added in quadrature at program time, modelling
     /// cell-to-cell program interference from neighbouring wordlines.
     pub program_interference_sigma: f64,
+
+    // --- Closed-form (analytic tier) calibration ---------------------------
+    /// Retention coefficient of the closed-form RBER model the analytic
+    /// tiers sample from (`rber_ret = coeff * (PE/1000)^ret_pe_exp *
+    /// days^ret_time_exp`). Calibrated to Fig. 6's 21-day level for the
+    /// default chip; per-generation in the chip database.
+    pub analytic_ret_coeff: f64,
+    /// Per-read disturb slope of the closed-form model at the reference
+    /// wear level and nominal Vpass (Fig. 3's first table row: 1.0e-9 per
+    /// read at 2K P/E).
+    pub analytic_rd_slope: f64,
+    /// Saturation level of the closed-form disturb RBER (Fig. 10's plateau).
+    pub analytic_rd_sat: f64,
+
+    // --- Recovery ladder (read-retry interface) ----------------------------
+    /// Uniform reference shifts the chip's read-retry command supports, in
+    /// the order the controller's retry sweep tries them. Vendor- and
+    /// generation-specific (the SSD-error survey's read-retry tables).
+    pub retry_shifts: Vec<f64>,
+    /// Lowest-boundary raises the disturb-aware re-read step tries, in
+    /// order (RFR-style recovery; disturb errors concentrate at the lowest
+    /// boundary).
+    pub reread_va_raises: Vec<f64>,
 }
 
 impl ChipParams {
-    /// Programming distribution of a state at a given wear level.
-    pub fn state_dist(&self, state: CellState, pe_cycles: u64) -> StateParams {
-        let base = self.states[state.index() as usize];
+    /// Number of programmable states per cell.
+    pub fn n_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Bits stored per cell (`log2` of the state count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state count is not a power of two.
+    pub fn bits_per_cell(&self) -> u32 {
+        assert!(
+            self.states.len().is_power_of_two() && self.states.len() >= 2,
+            "state count {} is not a power of two",
+            self.states.len()
+        );
+        self.states.len().ilog2()
+    }
+
+    /// Programming distribution of the state at index `i` at a given wear
+    /// level.
+    pub fn state_dist_index(&self, i: usize, pe_cycles: u64) -> StateParams {
+        let base = self.states[i];
         let widen = 1.0
             + self.pe_sigma_widen_coeff * (pe_cycles as f64 / 1000.0).powf(self.pe_sigma_widen_exp);
         let sigma = (base.sigma * widen).hypot(self.program_interference_sigma);
         StateParams { mean: base.mean, sigma }
+    }
+
+    /// Programming distribution of an MLC state at a given wear level.
+    pub fn state_dist(&self, state: CellState, pe_cycles: u64) -> StateParams {
+        self.state_dist_index(state.index() as usize, pe_cycles)
     }
 
     /// The P/E-cycling component of RBER (program/erase noise floor).
@@ -148,9 +206,10 @@ impl ChipParams {
 
     /// Probability that a programmed cell is misplaced into an adjacent
     /// state. Each misprogrammed cell contributes one erroneous bit out of
-    /// its two, so this is twice the per-bit P/E error rate.
+    /// its `bits_per_cell`, so this is `bits_per_cell` times the per-bit
+    /// P/E error rate.
     pub fn misprogram_prob(&self, pe_cycles: u64) -> f64 {
-        (2.0 * self.rber_pe(pe_cycles)).min(0.05)
+        (f64::from(self.bits_per_cell()) * self.rber_pe(pe_cycles)).min(0.05)
     }
 
     /// Retention-loss rate multiplier at a given wear level (per unit
@@ -181,13 +240,67 @@ impl ChipParams {
     pub fn dose_increment(&self, n: u64, pe_cycles: u64, vpass: f64) -> f64 {
         n as f64 * self.rd_wear_factor(pe_cycles) * self.rd_vpass_factor(vpass)
     }
+
+    /// Validates internal consistency: power-of-two state count, ordered
+    /// state means, matching reference count with references placed between
+    /// adjacent means, the top state fitting below the nominal Vpass, and
+    /// non-empty retry ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check(&self) -> Result<(), String> {
+        let n = self.states.len();
+        if !(n.is_power_of_two() && (2..=crate::state::MAX_STATES).contains(&n)) {
+            return Err(format!("state count {n} must be a power of two in 2..=16"));
+        }
+        for w in self.states.windows(2) {
+            if w[0].mean >= w[1].mean {
+                return Err(format!(
+                    "state means must be strictly increasing ({} >= {})",
+                    w[0].mean, w[1].mean
+                ));
+            }
+        }
+        if self.refs.n_states() != n {
+            return Err(format!(
+                "{} references separate {} states, chip has {n}",
+                self.refs.len(),
+                self.refs.n_states()
+            ));
+        }
+        for i in 0..n - 1 {
+            let v = self.refs.level(i);
+            if !(self.states[i].mean < v && v < self.states[i + 1].mean) {
+                return Err(format!(
+                    "reference {i} ({v}) must sit between state means {} and {}",
+                    self.states[i].mean,
+                    self.states[i + 1].mean
+                ));
+            }
+        }
+        let top = self.states[n - 1];
+        if top.mean + 4.0 * top.sigma >= NOMINAL_VPASS {
+            return Err(format!(
+                "top state ({} + 4*{}) must clear the nominal Vpass {NOMINAL_VPASS}",
+                top.mean, top.sigma
+            ));
+        }
+        if !(self.min_vpass > 0.0 && self.min_vpass < NOMINAL_VPASS) {
+            return Err(format!("min_vpass {} outside (0, {NOMINAL_VPASS})", self.min_vpass));
+        }
+        if self.retry_shifts.is_empty() || self.reread_va_raises.is_empty() {
+            return Err("retry_shifts and reread_va_raises must be non-empty".into());
+        }
+        Ok(())
+    }
 }
 
 impl Default for ChipParams {
     /// The calibrated 2Y-nm MLC model (see `DESIGN.md` §4).
     fn default() -> Self {
         Self {
-            states: [
+            states: vec![
                 StateParams { mean: 40.0, sigma: 15.0 },  // ER
                 StateParams { mean: 160.0, sigma: 13.0 }, // P1
                 StateParams { mean: 290.0, sigma: 13.0 }, // P2
@@ -222,6 +335,13 @@ impl Default for ChipParams {
             outlier_cap: 508.0,
 
             program_interference_sigma: 2.0,
+
+            analytic_ret_coeff: 2.3e-6,
+            analytic_rd_slope: 1.0e-9,
+            analytic_rd_sat: 2.0e-2,
+
+            retry_shifts: vec![4.0, 8.0, 12.0, 16.0, -4.0],
+            reread_va_raises: vec![10.0, 20.0, 30.0],
         }
     }
 }
@@ -238,8 +358,30 @@ mod tests {
         }
         let p3 = p.states[3];
         assert!(p3.mean + 4.0 * p3.sigma < NOMINAL_VPASS);
-        assert!(p.refs.va > p.states[0].mean && p.refs.va < p.states[1].mean);
-        assert!(p.refs.vc > p.states[2].mean && p.refs.vc < p.states[3].mean);
+        assert!(p.refs.va() > p.states[0].mean && p.refs.va() < p.states[1].mean);
+        assert!(p.refs.vc() > p.states[2].mean && p.refs.vc() < p.states[3].mean);
+        p.check().unwrap();
+        assert_eq!(p.n_states(), 4);
+        assert_eq!(p.bits_per_cell(), 2);
+    }
+
+    #[test]
+    fn check_rejects_inconsistent_params() {
+        let mut p = ChipParams::default();
+        p.states.truncate(3);
+        assert!(p.check().unwrap_err().contains("power of two"));
+
+        let mut p = ChipParams::default();
+        p.states[2].mean = 100.0;
+        assert!(p.check().unwrap_err().contains("strictly increasing"));
+
+        let p =
+            ChipParams { refs: VoltageRefs::from_levels(&[100.0, 225.0]), ..Default::default() };
+        assert!(p.check().unwrap_err().contains("references"));
+
+        let mut p = ChipParams::default();
+        p.retry_shifts.clear();
+        assert!(p.check().unwrap_err().contains("retry_shifts"));
     }
 
     #[test]
@@ -288,5 +430,7 @@ mod tests {
         let p = ChipParams::default();
         assert!(p.misprogram_prob(1_000_000) <= 0.05);
         assert!(p.misprogram_prob(8_000) > 0.0);
+        // MLC: exactly twice the per-bit rate (two bits per cell).
+        assert_eq!(p.misprogram_prob(8_000), (2.0 * p.rber_pe(8_000)).min(0.05));
     }
 }

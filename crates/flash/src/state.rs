@@ -9,6 +9,11 @@
 //! voltages `Va < Vb < Vc` (Fig. 1):
 //! * the **LSB page** needs a single comparison at `Vb` (LSB = 1 below `Vb`);
 //! * the **MSB page** needs `Va` and `Vc` (MSB = 1 outside `[Va, Vc)`).
+//!
+//! [`VoltageRefs`] generalizes the reference set to `N-1` boundaries for an
+//! `N`-state cell (TLC: 7, QLC: 15) so the chip database can describe other
+//! generations; the MLC accessors ([`VoltageRefs::va`] etc.) and the
+//! [`CellState`] enum remain the cell-exact tier's native vocabulary.
 
 use crate::params::NOMINAL_VPASS;
 
@@ -29,6 +34,33 @@ pub enum CellState {
 
 /// All states in threshold-voltage order.
 pub const ALL_STATES: [CellState; 4] = [CellState::Er, CellState::P1, CellState::P2, CellState::P3];
+
+/// Largest state count a [`VoltageRefs`] set supports (QLC: 16 states).
+pub const MAX_STATES: usize = 16;
+
+/// Gray code of a state index: adjacent states differ in exactly one bit.
+pub fn gray_code(state: usize) -> usize {
+    state ^ (state >> 1)
+}
+
+/// The bit that page-kind `kind` of a `bits_per_cell`-bit cell stores for
+/// `state`, under the complemented-Gray mapping that generalizes the paper's
+/// Figure 1 (the erased state stores all ones; `kind` 0 is the LSB page).
+///
+/// For MLC this reproduces [`CellState::lsb`] (`kind` 0) and
+/// [`CellState::msb`] (`kind` 1) exactly.
+pub fn state_bit(state: usize, kind: usize, bits_per_cell: usize) -> bool {
+    debug_assert!(kind < bits_per_cell, "page kind {kind} of a {bits_per_cell}-bit cell");
+    (!gray_code(state) >> (bits_per_cell - 1 - kind)) & 1 == 1
+}
+
+/// Bit positions differing between two states' stored values of a
+/// `bits_per_cell`-bit cell (the Gray property makes this 1 for adjacent
+/// states).
+pub fn state_bit_errors(a: usize, b: usize, bits_per_cell: usize) -> u64 {
+    let diff = gray_code(a) ^ gray_code(b);
+    (diff & ((1 << bits_per_cell) - 1)).count_ones() as u64
+}
 
 impl CellState {
     /// Builds a state from its index in threshold-voltage order.
@@ -111,64 +143,157 @@ impl std::fmt::Display for CellState {
     }
 }
 
-/// A set of read-reference voltages `Va < Vb < Vc` on the normalized scale.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// An ordered set of read-reference voltages on the normalized scale: the
+/// `N-1` state boundaries of an `N`-state cell (MLC: `Va < Vb < Vc`).
+///
+/// Stored inline at fixed capacity so the type stays `Copy` on the hot read
+/// path; only the first [`VoltageRefs::len`] slots are meaningful (the rest
+/// are zeroed, and equality compares the active prefix only).
+#[derive(Debug, Clone, Copy)]
 pub struct VoltageRefs {
-    /// Reference separating ER from P1.
-    pub va: f64,
-    /// Reference separating P1 from P2 (the single LSB-read reference).
-    pub vb: f64,
-    /// Reference separating P2 from P3.
-    pub vc: f64,
+    levels: [f64; MAX_STATES - 1],
+    count: u8,
+}
+
+impl PartialEq for VoltageRefs {
+    fn eq(&self, other: &Self) -> bool {
+        self.levels() == other.levels()
+    }
 }
 
 impl VoltageRefs {
-    /// Creates a reference set, validating the ordering.
+    /// Creates an MLC reference set, validating the ordering.
     ///
     /// # Panics
     ///
     /// Panics unless `va < vb < vc`.
     pub fn new(va: f64, vb: f64, vc: f64) -> Self {
         assert!(va < vb && vb < vc, "references must satisfy va < vb < vc");
-        Self { va, vb, vc }
+        Self::from_levels(&[va, vb, vc])
     }
 
-    /// Classifies a threshold voltage into the state *region* it currently
-    /// occupies under these references.
+    /// Creates a reference set from an ordered boundary list (one boundary
+    /// per adjacent state pair: 3 for MLC, 7 for TLC, 15 for QLC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty, exceeds [`MAX_STATES`]` - 1` entries, or
+    /// is not strictly increasing.
+    pub fn from_levels(levels: &[f64]) -> Self {
+        assert!(
+            !levels.is_empty() && levels.len() < MAX_STATES,
+            "need 1..={} references, got {}",
+            MAX_STATES - 1,
+            levels.len()
+        );
+        assert!(
+            levels.windows(2).all(|w| w[0] < w[1]),
+            "references must be strictly increasing: {levels:?}"
+        );
+        let mut stored = [0.0; MAX_STATES - 1];
+        stored[..levels.len()].copy_from_slice(levels);
+        Self { levels: stored, count: levels.len() as u8 }
+    }
+
+    /// The active boundaries, in increasing order.
+    pub fn levels(&self) -> &[f64] {
+        &self.levels[..self.count as usize]
+    }
+
+    /// Number of boundaries (`n_states - 1`).
+    #[allow(clippy::len_without_is_empty)] // never empty by construction
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Number of states the boundaries separate.
+    pub fn n_states(&self) -> usize {
+        self.count as usize + 1
+    }
+
+    /// The `i`-th boundary (between states `i` and `i + 1`).
+    pub fn level(&self, i: usize) -> f64 {
+        self.levels()[i]
+    }
+
+    /// Reference separating ER from P1 (MLC accessor).
+    pub fn va(&self) -> f64 {
+        self.levels[0]
+    }
+
+    /// Reference separating P1 from P2 — the single LSB-read reference
+    /// (MLC accessor).
+    pub fn vb(&self) -> f64 {
+        self.levels[1]
+    }
+
+    /// Reference separating P2 from P3 (MLC accessor).
+    pub fn vc(&self) -> f64 {
+        self.levels[2]
+    }
+
+    /// Classifies a threshold voltage into the index of the state region it
+    /// currently occupies: the number of boundaries at or below `vth`
+    /// (a cell sitting exactly on a boundary reads as the upper state).
+    pub fn classify_index(&self, vth: f64) -> usize {
+        self.levels().iter().filter(|&&level| vth >= level).count()
+    }
+
+    /// Classifies a threshold voltage into the MLC state *region* it
+    /// currently occupies under these references.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-MLC reference sets (use [`VoltageRefs::classify_index`]).
     pub fn classify(&self, vth: f64) -> CellState {
-        if vth < self.va {
-            CellState::Er
-        } else if vth < self.vb {
-            CellState::P1
-        } else if vth < self.vc {
-            CellState::P2
-        } else {
-            CellState::P3
-        }
+        assert_eq!(self.n_states(), 4, "CellState classification is MLC-only");
+        CellState::from_index(self.classify_index(vth) as u8)
     }
 
-    /// Senses the LSB of a cell: a single comparison at `Vb`.
+    /// Senses the LSB of an MLC cell: a single comparison at `Vb`.
     pub fn sense_lsb(&self, vth: f64) -> bool {
-        vth < self.vb
+        vth < self.vb()
     }
 
-    /// Senses the MSB of a cell: comparisons at `Va` and `Vc`.
+    /// Senses the MSB of an MLC cell: comparisons at `Va` and `Vc`.
     pub fn sense_msb(&self, vth: f64) -> bool {
-        vth < self.va || vth >= self.vc
+        vth < self.va() || vth >= self.vc()
     }
 
     /// Returns a copy with every reference shifted by `delta` (the
     /// read-retry primitive: real chips step all references of a wordline).
     pub fn shifted(&self, delta: f64) -> Self {
-        Self { va: self.va + delta, vb: self.vb + delta, vc: self.vc + delta }
+        let mut shifted = *self;
+        for level in &mut shifted.levels[..shifted.count as usize] {
+            *level += delta;
+        }
+        shifted
+    }
+
+    /// Returns a copy with only the lowest boundary raised by `delta` — the
+    /// disturb-aware re-read primitive (read disturb lifts erased cells
+    /// across the lowest boundary; the upper references stay at the factory
+    /// points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the raise would reorder the boundaries.
+    pub fn with_lowest_raised(&self, delta: f64) -> Self {
+        let mut raised = *self;
+        raised.levels[0] += delta;
+        assert!(
+            raised.count == 1 || raised.levels[0] < raised.levels[1],
+            "raising the lowest reference by {delta} reorders the boundaries"
+        );
+        raised
     }
 }
 
 impl Default for VoltageRefs {
-    /// Default references positioned between the default state means
+    /// Default MLC references positioned between the default state means
     /// (see [`crate::ChipParams`]).
     fn default() -> Self {
-        Self { va: 100.0, vb: 225.0, vc: 355.0 }
+        Self::from_levels(&[100.0, 225.0, 355.0])
     }
 }
 
@@ -186,12 +311,14 @@ impl StateRegion {
     /// Region assigned to `state` under the given references, with the upper
     /// state bounded above by the nominal `Vpass`.
     pub fn of(state: CellState, refs: &VoltageRefs) -> Self {
-        match state {
-            CellState::Er => StateRegion { lo: f64::NEG_INFINITY, hi: refs.va },
-            CellState::P1 => StateRegion { lo: refs.va, hi: refs.vb },
-            CellState::P2 => StateRegion { lo: refs.vb, hi: refs.vc },
-            CellState::P3 => StateRegion { lo: refs.vc, hi: NOMINAL_VPASS },
-        }
+        Self::of_index(state.index() as usize, refs)
+    }
+
+    /// Region assigned to state index `i` under the given references.
+    pub fn of_index(i: usize, refs: &VoltageRefs) -> Self {
+        let lo = if i == 0 { f64::NEG_INFINITY } else { refs.level(i - 1) };
+        let hi = if i == refs.len() { NOMINAL_VPASS } else { refs.level(i) };
+        StateRegion { lo, hi }
     }
 
     /// Whether a voltage falls inside the region.
@@ -222,6 +349,32 @@ mod tests {
     }
 
     #[test]
+    fn general_state_bit_reproduces_mlc_gray_map() {
+        for s in ALL_STATES {
+            let i = s.index() as usize;
+            assert_eq!(state_bit(i, 0, 2), s.lsb(), "lsb of {s}");
+            assert_eq!(state_bit(i, 1, 2), s.msb(), "msb of {s}");
+            for o in ALL_STATES {
+                assert_eq!(state_bit_errors(i, o.index() as usize, 2), s.bit_errors_vs(o));
+            }
+        }
+    }
+
+    #[test]
+    fn general_gray_map_adjacent_states_differ_by_one_bit() {
+        for bits in [1usize, 2, 3, 4] {
+            let n = 1 << bits;
+            for s in 0..n - 1 {
+                assert_eq!(state_bit_errors(s, s + 1, bits), 1, "{bits}-bit cell state {s}");
+            }
+            // The erased state stores all-ones on every page kind.
+            for kind in 0..bits {
+                assert!(state_bit(0, kind, bits));
+            }
+        }
+    }
+
+    #[test]
     fn adjacent_states_differ_by_one_bit() {
         for s in ALL_STATES {
             if let Some(up) = s.up() {
@@ -243,7 +396,20 @@ mod tests {
         assert_eq!(refs.classify(300.0), CellState::P2);
         assert_eq!(refs.classify(450.0), CellState::P3);
         // Boundary semantics: exactly Va reads as P1.
-        assert_eq!(refs.classify(refs.va), CellState::P1);
+        assert_eq!(refs.classify(refs.va()), CellState::P1);
+        for vth in [-5.0, 0.0, 99.9, 100.0, 224.9, 225.0, 354.9, 355.0, 500.0] {
+            assert_eq!(refs.classify_index(vth), refs.classify(vth).index() as usize);
+        }
+    }
+
+    #[test]
+    fn classify_index_handles_non_mlc_counts() {
+        let tlc = VoltageRefs::from_levels(&[60.0, 120.0, 180.0, 240.0, 300.0, 360.0, 420.0]);
+        assert_eq!(tlc.n_states(), 8);
+        assert_eq!(tlc.classify_index(-10.0), 0);
+        assert_eq!(tlc.classify_index(60.0), 1);
+        assert_eq!(tlc.classify_index(185.0), 3);
+        assert_eq!(tlc.classify_index(500.0), 7);
     }
 
     #[test]
@@ -259,14 +425,37 @@ mod tests {
     #[test]
     fn shifted_refs_preserve_ordering() {
         let refs = VoltageRefs::default().shifted(-30.0);
-        assert!(refs.va < refs.vb && refs.vb < refs.vc);
-        assert!((refs.va - 70.0).abs() < 1e-12);
+        assert!(refs.va() < refs.vb() && refs.vb() < refs.vc());
+        assert!((refs.va() - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowest_raise_leaves_upper_boundaries() {
+        let refs = VoltageRefs::default().with_lowest_raised(20.0);
+        assert!((refs.va() - 120.0).abs() < 1e-12);
+        assert_eq!(refs.vb(), 225.0);
+        assert_eq!(refs.vc(), 355.0);
     }
 
     #[test]
     #[should_panic(expected = "va < vb < vc")]
     fn invalid_refs_panic() {
         let _ = VoltageRefs::new(200.0, 100.0, 300.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_levels_panic() {
+        let _ = VoltageRefs::from_levels(&[10.0, 10.0]);
+    }
+
+    #[test]
+    fn equality_ignores_inactive_slots() {
+        let a = VoltageRefs::from_levels(&[1.0, 2.0]);
+        let b = VoltageRefs::from_levels(&[1.0, 2.0]);
+        let c = VoltageRefs::from_levels(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
     }
 
     #[test]

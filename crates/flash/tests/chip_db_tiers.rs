@@ -1,0 +1,142 @@
+//! TLC/QLC state-count edge coverage on the analytic fidelity tiers.
+//!
+//! The cell-exact tier stays MLC-native (and golden-pinned); the chip
+//! database's TLC and QLC parts run on `PageAnalytic`/`BlockAggregate`.
+//! These tests pin the generalized state handling: page addressing at 3 and
+//! 4 bits per cell, the N-boundary closed-form floor, monotone disturb
+//! growth, cross-tier agreement, and the MLC-only guard on `CellExact`.
+
+use rd_flash::chips;
+use rd_flash::{Chip, ChipParams, Geometry, ReadFidelity};
+
+fn db_chip(name: &str) -> ChipParams {
+    chips::get(name).unwrap_or_else(|| panic!("{name} missing from DB")).params
+}
+
+fn geometry_for(params: &ChipParams) -> Geometry {
+    Geometry {
+        blocks: 1,
+        wordlines_per_block: 16,
+        bitlines: 8 * 1024,
+        bits_per_cell: params.bits_per_cell(),
+    }
+}
+
+fn worn_chip(params: &ChipParams, fidelity: ReadFidelity, pe: u64) -> Chip {
+    let mut chip = Chip::with_fidelity(geometry_for(params), params.clone(), 99, fidelity);
+    chip.cycle_block(0, pe).unwrap();
+    chip.program_block_random(0, 5).unwrap();
+    chip
+}
+
+#[test]
+fn tlc_page_addressing_and_reads_work_on_both_analytic_tiers() {
+    let params = db_chip("va-tlc-v3");
+    assert_eq!(params.n_states(), 8);
+    assert_eq!(params.bits_per_cell(), 3);
+    for fidelity in [ReadFidelity::PageAnalytic, ReadFidelity::BlockAggregate] {
+        let mut chip = worn_chip(&params, fidelity, 3_000);
+        let pages = chip.geometry().pages_per_block();
+        assert_eq!(pages, 16 * 3, "TLC wordlines carry three pages");
+        for page in 0..pages {
+            let outcome = chip
+                .read_page(0, page)
+                .unwrap_or_else(|e| panic!("{fidelity:?}: TLC page {page} failed to read: {e}"));
+            assert_eq!(outcome.stats.bits, 8 * 1024);
+        }
+    }
+}
+
+#[test]
+fn qlc_sixteen_state_chip_reads_on_both_analytic_tiers() {
+    let params = db_chip("vb-qlc-96l");
+    assert_eq!(params.n_states(), 16);
+    assert_eq!(params.bits_per_cell(), 4);
+    for fidelity in [ReadFidelity::PageAnalytic, ReadFidelity::BlockAggregate] {
+        let mut chip = worn_chip(&params, fidelity, 1_500);
+        assert_eq!(chip.geometry().pages_per_block(), 16 * 4);
+        let last = chip.geometry().pages_per_block() - 1;
+        chip.read_page(0, last).unwrap();
+        assert!(chip.read_page(0, last + 1).is_err(), "page past the end must fail");
+    }
+}
+
+#[test]
+fn disturb_grows_rber_monotonically_for_tlc_and_qlc() {
+    for name in ["va-tlc-v3", "vb-qlc-96l"] {
+        let params = db_chip(name);
+        let pe = if params.bits_per_cell() == 3 { 3_000 } else { 1_500 };
+        for fidelity in [ReadFidelity::PageAnalytic, ReadFidelity::BlockAggregate] {
+            let mut chip = worn_chip(&params, fidelity, pe);
+            let base = chip.block_rber_rate(0).unwrap();
+            assert!(
+                (1.0e-6..1.0e-2).contains(&base),
+                "{name}/{fidelity:?}: base RBER {base:.3e} out of scale"
+            );
+            let mut last = base;
+            for _ in 0..3 {
+                chip.apply_read_disturbs(0, 200_000).unwrap();
+                let rber = chip.block_rber_rate(0).unwrap();
+                assert!(
+                    rber >= last,
+                    "{name}/{fidelity:?}: disturb lowered RBER {last:.3e} -> {rber:.3e}"
+                );
+                last = rber;
+            }
+            assert!(last > base, "{name}/{fidelity:?}: disturb had no effect");
+        }
+    }
+}
+
+#[test]
+fn analytic_tiers_agree_on_tlc_expectation() {
+    // Both tiers sample the same closed form; on a whole-block average they
+    // must land within sampling noise of each other.
+    let params = db_chip("va-tlc-v3");
+    let mut page = worn_chip(&params, ReadFidelity::PageAnalytic, 3_000);
+    let mut agg = worn_chip(&params, ReadFidelity::BlockAggregate, 3_000);
+    for chip in [&mut page, &mut agg] {
+        chip.apply_read_disturbs(0, 300_000).unwrap();
+        chip.advance_days(10.0);
+    }
+    let a = page.block_rber_rate(0).unwrap();
+    let b = agg.block_rber_rate(0).unwrap();
+    let ratio = a / b;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "page-analytic {a:.3e} vs block-aggregate {b:.3e} (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn retention_ages_qlc_faster_than_tlc() {
+    // Database ordering check across generations: the QLC part's retention
+    // coefficients are worse than the TLC part's at comparable wear.
+    let tlc = db_chip("va-tlc-v3");
+    let qlc = db_chip("va-qlc-v5");
+    let mut tlc_chip = worn_chip(&tlc, ReadFidelity::PageAnalytic, 1_500);
+    let mut qlc_chip = worn_chip(&qlc, ReadFidelity::PageAnalytic, 1_500);
+    let t0 = tlc_chip.block_rber_rate(0).unwrap();
+    let q0 = qlc_chip.block_rber_rate(0).unwrap();
+    tlc_chip.advance_days(30.0);
+    qlc_chip.advance_days(30.0);
+    let t_gain = tlc_chip.block_rber_rate(0).unwrap() - t0;
+    let q_gain = qlc_chip.block_rber_rate(0).unwrap() - q0;
+    assert!(q_gain > t_gain, "QLC retention gain {q_gain:.3e} must exceed TLC's {t_gain:.3e}");
+}
+
+#[test]
+#[should_panic(expected = "cell-exact tier is MLC-only")]
+fn cell_exact_rejects_tlc_state_count() {
+    let params = db_chip("va-tlc-v3");
+    let geometry = geometry_for(&params);
+    let _ = Chip::with_fidelity(geometry, params, 1, ReadFidelity::CellExact);
+}
+
+#[test]
+#[should_panic(expected = "bits_per_cell disagrees")]
+fn geometry_state_count_mismatch_is_rejected() {
+    let params = db_chip("va-tlc-v3");
+    let geometry = Geometry { bits_per_cell: 2, ..geometry_for(&params) };
+    let _ = Chip::with_fidelity(geometry, params, 1, ReadFidelity::PageAnalytic);
+}

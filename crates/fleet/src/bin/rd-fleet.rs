@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! rd-fleet run     [--drives N] [--epochs N] [--ops N] [--epoch-days F]
-//!                  [--seed N] [--profile NAME] [--fidelity TIER]
+//!                  [--seed N] [--profile NAME] [--chip NAME] [--fidelity TIER]
 //!                  [--endurance N] [--replace-uncorrectable N]
 //!                  [--threads N] [--checkpoint PATH]
 //! rd-fleet resume  --checkpoint PATH [--epochs N] [--threads N] [--save PATH]
@@ -22,7 +22,8 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: rd-fleet run [--drives N] [--epochs N] [--ops N] [--epoch-days F] \
-         [--seed N] [--profile NAME] [--fidelity exact|analytic|aggregate] \
+         [--seed N] [--profile NAME] [--chip NAME] \
+         [--fidelity exact|analytic|aggregate] \
          [--endurance N] [--replace-uncorrectable N] [--threads N] [--checkpoint PATH]\n\
          \x20      rd-fleet resume --checkpoint PATH [--epochs N] [--threads N] [--save PATH]\n\
          \x20      rd-fleet inspect --checkpoint PATH"
@@ -66,7 +67,7 @@ fn config_json(c: &FleetConfig) -> String {
         concat!(
             "{{\"row\":\"fleet-config\",\"drives\":{},\"seed\":{},",
             "\"epoch_days\":{},\"ops_per_epoch\":{},\"profile\":\"{}\",",
-            "\"endurance_pe\":{},\"replace_uncorrectable\":{},",
+            "\"endurance_pe\":{},\"replace_uncorrectable\":{},\"chip\":\"{}\",",
             "\"fidelity\":\"{:?}\",\"channels\":{},\"dies_per_channel\":{}}}"
         ),
         c.drives,
@@ -76,6 +77,7 @@ fn config_json(c: &FleetConfig) -> String {
         c.profile,
         c.endurance_pe,
         c.replace_uncorrectable,
+        c.engine.die.chip,
         c.engine.fidelity(),
         c.engine.topology.channels,
         c.engine.topology.dies_per_channel,
@@ -102,8 +104,21 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
     if let Some(v) = take_flag(&mut args, "--profile") {
         config.profile = v;
     }
+    if let Some(v) = take_flag(&mut args, "--chip") {
+        // Before --fidelity: selecting a chip adopts its native tier, which
+        // an explicit --fidelity flag then overrides.
+        config.engine.die = config.engine.die.clone().with_chip(&v)?;
+    }
     if let Some(v) = take_flag(&mut args, "--fidelity") {
         config.engine = config.engine.with_fidelity(parse_fidelity(&v));
+    }
+    if config.engine.fidelity() == ReadFidelity::CellExact
+        && config.engine.die.geometry.bits_per_cell != 2
+    {
+        return Err(format!(
+            "--fidelity exact is MLC-only; chip {} has {} bits per cell",
+            config.engine.die.chip, config.engine.die.geometry.bits_per_cell
+        ));
     }
     if let Some(v) = take_flag(&mut args, "--endurance") {
         config.endurance_pe = parse("--endurance", v);

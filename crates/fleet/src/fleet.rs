@@ -288,7 +288,7 @@ impl Fleet {
     pub fn epoch(&mut self, threads: usize) -> FleetRow {
         let profile = WorkloadProfile::by_name(&self.config.profile)
             .expect("profile validated at construction");
-        let pages_per_block = self.config.engine.die.geometry.wordlines_per_block * 2;
+        let pages_per_block = self.config.engine.die.geometry.pages_per_block();
         let epoch = self.epochs_done;
         for (i, slot) in self.slots.iter_mut().enumerate() {
             let tseed = traffic_seed(self.config.seed, i as u32, slot.generation, epoch);
@@ -451,8 +451,9 @@ impl Fleet {
     }
 }
 
-/// Serializes every config knob (chip parameters are always the calibrated
-/// default set at the configured fidelity; see [`FleetConfig`]).
+/// Serializes every config knob. Chip parameters travel as the chip's
+/// database name (plus the configured fidelity tag), not as raw values —
+/// restore re-resolves them from [`rd_flash::chips`].
 fn encode_config(c: &FleetConfig, w: &mut Writer) {
     w.put_u32(c.drives);
     w.put_u64(c.seed);
@@ -484,6 +485,9 @@ fn encode_config(c: &FleetConfig, w: &mut Writer) {
     w.put_f64(e.timing.program_us);
     w.put_f64(e.timing.erase_us);
     w.put_f64(e.timing.xfer_us);
+    // Appended last so version-1 checkpoints written before the chip
+    // database existed still restore (they fall back to the default chip).
+    w.put_bytes(e.die.chip.as_bytes());
 }
 
 /// Mirror of [`encode_config`].
@@ -506,10 +510,11 @@ fn decode_config(r: &mut Reader<'_>) -> Result<FleetConfig, SnapError> {
     let queue_depth = r.get_u32()?;
     let die_index_offset = r.get_u32()?;
     let capture_read_data = r.get_bool()?;
-    let geometry = Geometry {
+    let mut geometry = Geometry {
         blocks: r.get_u32()?,
         wordlines_per_block: r.get_u32()?,
         bitlines: r.get_u32()?,
+        bits_per_cell: 2,
     };
     let overprovision = r.get_f64()?;
     let gc_free_threshold = r.get_u32()?;
@@ -523,9 +528,22 @@ fn decode_config(r: &mut Reader<'_>) -> Result<FleetConfig, SnapError> {
         erase_us: r.get_f64()?,
         xfer_us: r.get_f64()?,
     };
+    // Checkpoints from before the chip database end here; they predate
+    // non-default chips, so an absent name means the default part.
+    let chip_name = if r.is_empty() {
+        rd_flash::chips::DEFAULT_CHIP.to_string()
+    } else {
+        String::from_utf8(r.get_bytes()?)
+            .map_err(|_| SnapError::Mismatch("chip name is not UTF-8".into()))?
+    };
+    let spec = rd_flash::chips::get(&chip_name).ok_or_else(|| {
+        SnapError::Mismatch(format!("checkpoint names unknown chip `{chip_name}`"))
+    })?;
+    geometry.bits_per_cell = spec.params.bits_per_cell();
     let mut die = SsdConfig {
+        chip: spec.name.to_string(),
         geometry,
-        chip_params: rd_flash::ChipParams::default(),
+        chip_params: spec.params,
         overprovision,
         gc_free_threshold,
         refresh_interval_days,
@@ -636,5 +654,44 @@ mod tests {
         let json = fleet.row().to_json();
         assert!(json.starts_with("{\"row\":\"fleet\""));
         assert!(json.contains("\"digest\":\""));
+    }
+
+    #[test]
+    fn checkpoint_carries_non_default_chip() {
+        let mut c = tiny();
+        c.engine.die = c.engine.die.clone().with_chip("vb-tlc-64l").unwrap();
+        c.engine = c.engine.with_fidelity(ReadFidelity::BlockAggregate);
+
+        let mut uninterrupted = Fleet::new(c.clone()).unwrap();
+        uninterrupted.run(4, 1, |_| {});
+
+        let mut first = Fleet::new(c).unwrap();
+        first.run(2, 1, |_| {});
+        let snap = first.snapshot().unwrap();
+        let resumed_config = Fleet::restore(&snap).unwrap();
+        assert_eq!(resumed_config.config().engine.die.chip, "vb-tlc-64l");
+        assert_eq!(resumed_config.config().engine.die.geometry.bits_per_cell, 3);
+
+        let mut resumed = Fleet::restore(&snap).unwrap();
+        resumed.run(2, 1, |_| {});
+        assert_eq!(uninterrupted.row(), resumed.row());
+    }
+
+    #[test]
+    fn chipless_config_decodes_to_the_default_chip() {
+        // Version-1 checkpoints written before the chip database ended the
+        // config section right after the timing block; restoring them must
+        // resolve to the default part.
+        let mut w = Writer::new();
+        encode_config(&tiny(), &mut w);
+        let full = w.into_bytes();
+        let name = tiny().engine.die.chip;
+        assert_eq!(name, rd_flash::chips::DEFAULT_CHIP);
+        let legacy = &full[..full.len() - 8 - name.len()]; // strip len-prefixed name
+        let decoded = decode_config(&mut Reader::new(legacy)).unwrap();
+        assert_eq!(decoded.engine.die.chip, rd_flash::chips::DEFAULT_CHIP);
+        assert_eq!(decoded.engine.die.chip_params, tiny().engine.die.chip_params);
+        assert_eq!(decoded.drives, tiny().drives);
+        assert_eq!(decoded.engine.die.geometry.bits_per_cell, 2);
     }
 }

@@ -5,6 +5,12 @@ use rd_flash::{ChipParams, Geometry, ReadFidelity};
 /// Configuration of the simulated SSD.
 #[derive(Debug, Clone)]
 pub struct SsdConfig {
+    /// Name of the chip-database entry `chip_params` came from (see
+    /// [`rd_flash::chips`]). Purely a label — `chip_params` stays the
+    /// authoritative model — used by fleet snapshots, bench artifact rows,
+    /// and trajectory keys so per-chip results never collide. Construct via
+    /// [`SsdConfig::with_chip`] to keep the label and parameters in sync.
+    pub chip: String,
     /// Flash chip geometry.
     pub geometry: Geometry,
     /// Flash model parameters.
@@ -27,7 +33,13 @@ impl SsdConfig {
     /// with every mechanism active.
     pub fn small_test() -> Self {
         Self {
-            geometry: Geometry { blocks: 16, wordlines_per_block: 8, bitlines: 1024 },
+            chip: rd_flash::chips::DEFAULT_CHIP.to_string(),
+            geometry: Geometry {
+                blocks: 16,
+                wordlines_per_block: 8,
+                bitlines: 1024,
+                bits_per_cell: 2,
+            },
             chip_params: ChipParams::default(),
             overprovision: 0.20,
             gc_free_threshold: 2,
@@ -43,7 +55,13 @@ impl SsdConfig {
     /// 100k-op traces quickly.
     pub fn engine_scale(seed: u64) -> Self {
         Self {
-            geometry: Geometry { blocks: 16, wordlines_per_block: 8, bitlines: 2048 },
+            chip: rd_flash::chips::DEFAULT_CHIP.to_string(),
+            geometry: Geometry {
+                blocks: 16,
+                wordlines_per_block: 8,
+                bitlines: 2048,
+                bits_per_cell: 2,
+            },
             chip_params: ChipParams::default(),
             overprovision: 0.25,
             gc_free_threshold: 2,
@@ -66,6 +84,28 @@ impl SsdConfig {
     pub fn with_fidelity(mut self, fidelity: ReadFidelity) -> Self {
         self.chip_params.fidelity = fidelity;
         self
+    }
+
+    /// Returns the configuration rebuilt around a named chip-database
+    /// entry: flash parameters (including the part's default fidelity tier
+    /// and read-retry ranges), the geometry's bits-per-cell, and the
+    /// part's provisioned ECC capability line all come from the database.
+    /// Geometry shape (blocks, wordlines, bitlines), GC/refresh settings,
+    /// and the seed are kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the valid chips if `name` is not in the
+    /// database.
+    pub fn with_chip(mut self, name: &str) -> Result<Self, String> {
+        let spec = rd_flash::chips::get(name).ok_or_else(|| {
+            format!("unknown chip `{name}` (database has: {})", rd_flash::chips::names().join(", "))
+        })?;
+        self.chip = spec.name.to_string();
+        self.geometry.bits_per_cell = spec.params.bits_per_cell();
+        self.chip_params = spec.params;
+        self.ecc_capability_rber = spec.ecc_capability_rber;
+        Ok(self)
     }
 
     /// Number of logical pages exported to the host.
@@ -98,6 +138,7 @@ impl SsdConfig {
 impl Default for SsdConfig {
     fn default() -> Self {
         Self {
+            chip: rd_flash::chips::DEFAULT_CHIP.to_string(),
             geometry: Geometry::standard(),
             chip_params: ChipParams::default(),
             overprovision: 0.07,

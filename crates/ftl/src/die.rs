@@ -98,8 +98,10 @@ impl Die<NoMitigation> {
 }
 
 impl<P: ControllerPolicy> Die<P> {
-    /// Creates a die with an explicit controller policy and the standard
-    /// recovery ladder ([`RecoveryLadder::standard`]).
+    /// Creates a die with an explicit controller policy and the recovery
+    /// ladder declared by the chip's read-retry interface
+    /// ([`RecoveryLadder::for_chip`]; identical to
+    /// [`RecoveryLadder::standard`] for the default chip).
     ///
     /// # Errors
     ///
@@ -131,13 +133,14 @@ impl<P: ControllerPolicy> Die<P> {
         // fast-forward reads whose ECC outcome is analytically decided
         // (a no-op hint on the other tiers).
         chip.set_read_margin(Some(ecc.capability()));
+        let ladder = RecoveryLadder::for_chip(&config.chip_params);
         Ok(Self {
             config,
             chip,
             map,
             policy,
             ecc,
-            ladder: RecoveryLadder::standard(),
+            ladder,
             free,
             active: None,
             in_gc: false,

@@ -58,6 +58,7 @@ pub use mapping::{PageMap, Ppa};
 pub use policy::{
     ControllerPolicy, NoMitigation, PolicyAction, PolicyContext, ReadReclaim, DAY_NS,
 };
+pub use rd_flash::chips;
 pub use rd_flash::wire;
 pub use rd_flash::{ReadFidelity, SnapError};
 pub use recovery::{

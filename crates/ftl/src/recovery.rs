@@ -20,7 +20,7 @@
 //! spent, the controller folds them into [`crate::SsdStats`], and the
 //! engine charges tR per retry read on its discrete-event clock.
 
-use rd_flash::{Chip, FlashError, VoltageRefs};
+use rd_flash::{Chip, FlashError};
 
 /// How a host read was resolved by the controller pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -188,7 +188,7 @@ impl RecoveryStep for DisturbReRead {
         let defaults = chip.params().refs;
         let mut reads_spent = 0;
         for &raise in &self.va_raises {
-            let refs = VoltageRefs::new(defaults.va + raise, defaults.vb, defaults.vc);
+            let refs = defaults.with_lowest_raised(raise);
             let outcome = match chip.read_page_with_refs(block, page, &refs) {
                 Ok(outcome) => outcome,
                 Err(FlashError::FidelityUnsupported { .. }) => {
@@ -239,6 +239,18 @@ impl RecoveryLadder {
     /// The default ladder: [`RetrySweep`] then [`DisturbReRead`].
     pub fn standard() -> Self {
         Self::new(vec![Box::<RetrySweep>::default(), Box::<DisturbReRead>::default()])
+    }
+
+    /// The ladder driven by a chip's declared read-retry interface: the
+    /// chip database's `retry_shifts` feed the uniform sweep and
+    /// `reread_va_raises` the disturb-aware re-read. For
+    /// [`rd_flash::ChipParams::default`] this is exactly [`RecoveryLadder::standard`]
+    /// (the step `Default`s mirror the default chip's ranges).
+    pub fn for_chip(params: &rd_flash::ChipParams) -> Self {
+        Self::new(vec![
+            Box::new(RetrySweep { shifts: params.retry_shifts.clone() }),
+            Box::new(DisturbReRead { va_raises: params.reread_va_raises.clone() }),
+        ])
     }
 
     /// A ladder with no rungs: every decode failure is immediately
@@ -304,7 +316,7 @@ mod tests {
     /// the default references.
     fn disturbed_chip(fidelity: ReadFidelity, pe: u64, disturbs: u64) -> Chip {
         let mut chip = Chip::with_fidelity(
-            Geometry { blocks: 2, wordlines_per_block: 16, bitlines: 2048 },
+            Geometry { blocks: 2, wordlines_per_block: 16, bitlines: 2048, bits_per_cell: 2 },
             ChipParams::default(),
             99,
             fidelity,
@@ -386,5 +398,24 @@ mod tests {
         assert!(rec.is_ok());
         assert_eq!(rec.steps_engaged(), 1);
         assert_eq!(ReadResolution::Clean.steps_engaged(), 0);
+    }
+
+    #[test]
+    fn default_chip_ladder_equals_the_standard_ladder() {
+        // The step `Default`s mirror the default chip's declared retry
+        // interface, so the database-driven ladder is the golden one.
+        let params = rd_flash::ChipParams::default();
+        assert_eq!(params.retry_shifts, RetrySweep::default().shifts);
+        assert_eq!(params.reread_va_raises, DisturbReRead::default().va_raises);
+    }
+
+    #[test]
+    fn chip_ladders_pick_up_database_retry_ranges() {
+        let spec = rd_flash::chips::get("vb-mlc-2z").expect("chip in database");
+        assert_eq!(spec.params.retry_shifts, vec![5.0, 10.0, 15.0, -5.0]);
+        // The ladder exists and carries both steps; behaviour is covered by
+        // the tier tests above.
+        let ladder = RecoveryLadder::for_chip(&spec.params);
+        assert_eq!(ladder.steps.len(), 2);
     }
 }

@@ -5,7 +5,13 @@ use rd_ftl::{FtlError, Ssd, SsdConfig};
 
 fn tiny_config(seed: u64) -> SsdConfig {
     SsdConfig {
-        geometry: rd_flash::Geometry { blocks: 8, wordlines_per_block: 4, bitlines: 256 },
+        chip: rd_flash::chips::DEFAULT_CHIP.to_string(),
+        geometry: rd_flash::Geometry {
+            blocks: 8,
+            wordlines_per_block: 4,
+            bitlines: 256,
+            bits_per_cell: 2,
+        },
         overprovision: 0.45,
         gc_free_threshold: 2,
         refresh_interval_days: 7.0,

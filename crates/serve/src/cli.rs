@@ -19,6 +19,8 @@ pub struct CliOptions {
     pub dies_per_channel: u32,
     /// Shards (must divide `channels`).
     pub shards: u32,
+    /// Chip-database entry every die is built from (see [`rd_ftl::chips`]).
+    pub chip: String,
     /// Read-path fidelity tier.
     pub fidelity: ReadFidelity,
     /// Base RNG seed (dies and traffic derive their streams from it).
@@ -43,6 +45,7 @@ impl Default for CliOptions {
             channels: 4,
             dies_per_channel: 4,
             shards: 2,
+            chip: rd_ftl::chips::DEFAULT_CHIP.to_string(),
             fidelity: ReadFidelity::BlockAggregate,
             seed: 2015,
             ops: 200_000,
@@ -78,10 +81,19 @@ impl CliOptions {
     }
 
     /// Builds the whole-array engine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown chip name; [`CliOptions::validate`] catches that
+    /// first on every CLI path.
     pub fn engine_config(&self) -> EngineConfig {
+        let die = SsdConfig::engine_scale(self.seed)
+            .with_chip(&self.chip)
+            .expect("chip name checked in validate()")
+            .with_fidelity(self.fidelity);
         EngineConfig {
             topology: Topology { channels: self.channels, dies_per_channel: self.dies_per_channel },
-            die: SsdConfig::engine_scale(self.seed).with_fidelity(self.fidelity),
+            die,
             timing: Timing::default(),
             queue_depth: self.queue_depth,
             capture_read_data: false,
@@ -118,6 +130,20 @@ impl CliOptions {
         if self.batch_ops == 0 {
             return Err("--batch must be positive".into());
         }
+        let spec = rd_ftl::chips::get(&self.chip).ok_or_else(|| {
+            format!(
+                "--chip {}: unknown chip (database has: {})",
+                self.chip,
+                rd_ftl::chips::names().join(", ")
+            )
+        })?;
+        if self.fidelity == ReadFidelity::CellExact && spec.params.bits_per_cell() != 2 {
+            return Err(format!(
+                "--tier cell-exact is MLC-only; chip {} has {} bits per cell",
+                spec.name,
+                spec.params.bits_per_cell()
+            ));
+        }
         for tenant in &self.tenants {
             tenant.validate()?;
         }
@@ -147,6 +173,7 @@ FLAGS:
     --channels <n>     channels in the array            [default: 4]
     --dies <n>         dies per channel                 [default: 4]
     --shards <n>       engine shards; must divide channels [default: 2]
+    --chip <name>      chip-database entry for every die   [default: va-mlc-2y]
     --tier <t>         read fidelity: cell-exact | page-analytic |
                        block-aggregate                  [default: block-aggregate]
     --seed <n>         base RNG seed                    [default: 2015]
@@ -191,6 +218,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--channels" => options.channels = parse_num(&value(flag)?, flag)?,
             "--dies" => options.dies_per_channel = parse_num(&value(flag)?, flag)?,
             "--shards" => options.shards = parse_num(&value(flag)?, flag)?,
+            "--chip" => options.chip = value(flag)?,
             "--tier" => options.fidelity = value(flag)?.parse::<ReadFidelity>()?,
             "--seed" => options.seed = parse_num(&value(flag)?, flag)?,
             "--ops" => options.ops = parse_num(&value(flag)?, flag)?,
@@ -246,8 +274,27 @@ mod tests {
     }
 
     #[test]
+    fn chip_flag_selects_database_entry() {
+        let Command::Run(options) = parse(&argv("run --chip va-tlc-v3 --ops 10")).unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(options.chip, "va-tlc-v3");
+        let die = &options.engine_config().die;
+        assert_eq!(die.chip, "va-tlc-v3");
+        assert_eq!(die.geometry.bits_per_cell, 3);
+        // The default chip stays the database default.
+        let Command::Repl(defaults) = parse(&argv("repl")).unwrap() else { panic!() };
+        assert_eq!(defaults.chip, rd_ftl::chips::DEFAULT_CHIP);
+    }
+
+    #[test]
     fn rejects_bad_invocations() {
         assert!(parse(&argv("fly")).is_err());
+        assert!(parse(&argv("run --chip not-a-chip")).is_err());
+        assert!(
+            parse(&argv("run --chip va-tlc-v3 --tier cell-exact")).is_err(),
+            "cell-exact is MLC-only"
+        );
         assert!(parse(&argv("run --shards")).is_err());
         assert!(parse(&argv("run --shards 3")).is_err(), "3 does not divide 4 channels");
         assert!(parse(&argv("run --tier marble")).is_err());

@@ -25,7 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // read errors still fit in the unused ECC margin (paper SS3). Run on a
     // block with realistic page sizes (64 Ki bits, like real MLC parts) and
     // fresh data, as the mechanism does right after each refresh.
-    let tuning_geometry = Geometry { blocks: 1, wordlines_per_block: 16, bitlines: 64 * 1024 };
+    let tuning_geometry =
+        Geometry { blocks: 1, wordlines_per_block: 16, bitlines: 64 * 1024, bits_per_cell: 2 };
     let make_block = |seed: u64| -> Result<Chip, readdisturb::flash::FlashError> {
         let mut c = Chip::new(tuning_geometry, ChipParams::default(), seed);
         c.cycle_block(0, 6_000)?;

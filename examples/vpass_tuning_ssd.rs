@@ -9,10 +9,12 @@ use readdisturb::workloads::OpKind;
 
 fn ssd_config() -> SsdConfig {
     SsdConfig {
+        chip: readdisturb::flash::chips::DEFAULT_CHIP.to_string(),
         geometry: readdisturb::flash::Geometry {
             blocks: 12,
             wordlines_per_block: 8,
             bitlines: 16 * 1024,
+            bits_per_cell: 2,
         },
         overprovision: 0.25,
         gc_free_threshold: 2,

@@ -44,7 +44,7 @@ pub fn tiny_scale() -> Scale {
 /// Miniature chip geometry matching [`tiny_scale`], with a few blocks so
 /// FTL-level tests have room to relocate.
 pub fn tiny_geometry() -> Geometry {
-    Geometry { blocks: 4, wordlines_per_block: 8, bitlines: 512 }
+    Geometry { blocks: 4, wordlines_per_block: 8, bitlines: 512, bits_per_cell: 2 }
 }
 
 /// Miniature SSD configuration on [`tiny_geometry`]'s cell budget, seeded
@@ -58,8 +58,12 @@ pub fn tiny_ssd_config() -> SsdConfig {
 /// A single-block chip at `pe_cycles` of wear, programmed with seeded random
 /// data — the starting state of most characterization tests.
 pub fn worn_chip(scale: Scale, pe_cycles: u64, seed: u64) -> Chip {
-    let geometry =
-        Geometry { blocks: 1, wordlines_per_block: scale.wordlines, bitlines: scale.bitlines };
+    let geometry = Geometry {
+        blocks: 1,
+        wordlines_per_block: scale.wordlines,
+        bitlines: scale.bitlines,
+        bits_per_cell: 2,
+    };
     let mut chip = Chip::new(geometry, ChipParams::default(), seed);
     chip.cycle_block(0, pe_cycles).expect("block 0 exists");
     chip.program_block_random(0, seed ^ 0xF1E1D).expect("block 0 exists");

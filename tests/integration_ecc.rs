@@ -78,7 +78,13 @@ fn ecc_capability_gates_ssd_data_loss() {
     // stands between disturb and data loss.
     let run = |capability: f64| -> u64 {
         let mut ssd = Ssd::new(SsdConfig {
-            geometry: Geometry { blocks: 8, wordlines_per_block: 8, bitlines: 4096 },
+            chip: readdisturb::flash::chips::DEFAULT_CHIP.to_string(),
+            geometry: Geometry {
+                blocks: 8,
+                wordlines_per_block: 8,
+                bitlines: 4096,
+                bits_per_cell: 2,
+            },
             overprovision: 0.25,
             gc_free_threshold: 2,
             refresh_interval_days: 7.0,

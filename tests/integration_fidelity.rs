@@ -159,7 +159,13 @@ fn read_reclaim_policy_works_on_both_tiers() {
 fn vpass_tuning_policy_works_on_both_tiers() {
     for fidelity in [ReadFidelity::CellExact, ReadFidelity::PageAnalytic] {
         let config = SsdConfig {
-            geometry: Geometry { blocks: 8, wordlines_per_block: 8, bitlines: 16 * 1024 },
+            chip: readdisturb::flash::chips::DEFAULT_CHIP.to_string(),
+            geometry: Geometry {
+                blocks: 8,
+                wordlines_per_block: 8,
+                bitlines: 16 * 1024,
+                bits_per_cell: 2,
+            },
             overprovision: 0.25,
             gc_free_threshold: 2,
             refresh_interval_days: 7.0,

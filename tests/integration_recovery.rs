@@ -12,7 +12,8 @@ use readdisturb::prelude::*;
 /// reachable by turning the disturb knob.
 fn staged_config(fidelity: ReadFidelity) -> SsdConfig {
     SsdConfig {
-        geometry: Geometry { blocks: 16, wordlines_per_block: 8, bitlines: 2048 },
+        chip: readdisturb::flash::chips::DEFAULT_CHIP.to_string(),
+        geometry: Geometry { blocks: 16, wordlines_per_block: 8, bitlines: 2048, bits_per_cell: 2 },
         chip_params: ChipParams::default(),
         overprovision: 0.25,
         gc_free_threshold: 2,

@@ -6,10 +6,12 @@ use readdisturb::workloads::OpKind;
 
 fn config(seed: u64) -> SsdConfig {
     SsdConfig {
+        chip: readdisturb::flash::chips::DEFAULT_CHIP.to_string(),
         geometry: readdisturb::flash::Geometry {
             blocks: 16,
             wordlines_per_block: 8,
             bitlines: 2048,
+            bits_per_cell: 2,
         },
         overprovision: 0.25,
         gc_free_threshold: 2,

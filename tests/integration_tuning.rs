@@ -5,7 +5,7 @@ use readdisturb::prelude::*;
 
 /// Realistic-page geometry: worst-page statistics behave like real chips.
 fn geometry() -> Geometry {
-    Geometry { blocks: 2, wordlines_per_block: 16, bitlines: 64 * 1024 }
+    Geometry { blocks: 2, wordlines_per_block: 16, bitlines: 64 * 1024, bits_per_cell: 2 }
 }
 
 fn worn_chip(seed: u64, pe: u64) -> Chip {
