@@ -1,0 +1,70 @@
+//! Criterion microbench for the batched N-state closed-form RBER
+//! evaluation: the per-read path re-derives every operating-point term
+//! (Gaussian tail floor over the `N-1` read references, P/E noise,
+//! retention, disturb slope) on each read, while the batched path hoists
+//! them once per block operating point — as `AnalyticBlock`'s op-point
+//! cache does — leaving only the disturb-linear fold and one `ln_1p` per
+//! read. Run across the MLC/TLC/QLC chip database entries, whose
+//! reference counts (3/7/15) scale the hoisted tail-floor work.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use readdisturb::flash::analytic::gaussian_tail_floor;
+use readdisturb::flash::chips;
+use readdisturb::prelude::*;
+
+/// Reads per batch: one die's share of a service batch.
+const READS: usize = 256;
+
+/// Evaluates `READS` reads re-deriving the full closed form per read.
+fn per_read_path(params: &ChipParams, model: &AnalyticModel) -> f64 {
+    let pe = 8_000u64;
+    let age = 30.0;
+    let vpass = readdisturb::flash::params::NOMINAL_VPASS;
+    let sat = model.params().rd_sat;
+    let mut acc = 0.0;
+    for i in 0..READS {
+        let static_rber =
+            gaussian_tail_floor(params, pe) + model.rber_pe(pe) + model.rber_retention(pe, age);
+        let slope = model.rd_slope(pe, vpass);
+        let lin = slope * (100_000.0 + i as f64);
+        acc += static_rber + sat * (lin / sat).ln_1p();
+    }
+    acc
+}
+
+/// Evaluates the same `READS` reads with the operating-point terms hoisted
+/// out of the loop (the op-point-cache hot path).
+fn batched_path(params: &ChipParams, model: &AnalyticModel) -> f64 {
+    let pe = 8_000u64;
+    let age = 30.0;
+    let vpass = readdisturb::flash::params::NOMINAL_VPASS;
+    let sat = model.params().rd_sat;
+    let static_rber =
+        gaussian_tail_floor(params, pe) + model.rber_pe(pe) + model.rber_retention(pe, age);
+    let slope = model.rd_slope(pe, vpass);
+    let mut acc = 0.0;
+    for i in 0..READS {
+        let lin = slope * (100_000.0 + i as f64);
+        acc += static_rber + sat * (lin / sat).ln_1p();
+    }
+    acc
+}
+
+fn bench_closed_form(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closed_form");
+    for chip in ["va-mlc-2y", "va-tlc-v3", "va-qlc-v5"] {
+        let spec = chips::get(chip).expect("chip in database");
+        let params = spec.params.clone();
+        let model = AnalyticModel::from_chip(&params, 8);
+        group.bench_function(&format!("per_read_{READS}/{chip}"), |b| {
+            b.iter(|| black_box(per_read_path(black_box(&params), black_box(&model))))
+        });
+        group.bench_function(&format!("batched_{READS}/{chip}"), |b| {
+            b.iter(|| black_box(batched_path(black_box(&params), black_box(&model))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closed_form);
+criterion_main!(benches);

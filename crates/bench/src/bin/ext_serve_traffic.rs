@@ -58,7 +58,7 @@ fn main() {
         shards,
         batch_ops: 1024,
         max_inflight_batches: 4,
-        threads_per_shard: 1,
+        pool_threads: 0,
     };
 
     // Read the baseline BEFORE appending this run's entry.
@@ -132,6 +132,19 @@ fn main() {
             tenant.name, tenant.ops, tenant.p50_latency_us, tenant.p99_latency_us, tenant.uber,
         );
     }
+    // Per-stage cost breakdown, summed across shard workers and normalized
+    // per host op (wall overlap between shards means the stages can sum to
+    // more than the wall clock).
+    let per_op = |ns: u64| ns as f64 / total_ops as f64;
+    let stage = report.stage;
+    println!(
+        "## serve[{mode}]: stage ns/op — pool-wait {:.0}, flash {:.0}, timing {:.0}, \
+         accounting {:.0}",
+        per_op(stage.pool_wait_ns),
+        per_op(stage.flash_ns),
+        per_op(stage.timing_ns),
+        per_op(stage.accounting_ns),
+    );
 
     // Gate 3 — the service floor: full mode must sustain ≥1M host ops/s.
     if !quick {
@@ -147,7 +160,10 @@ fn main() {
             "{{\"kind\":\"perf\",\"fidelity\":\"block-aggregate\",\"service\":true,",
             "\"shards\":{},\"tenants\":{},\"trace_ops\":{},\"wall_ms\":{:.3},",
             "\"host_kiops\":{:.2},\"effective_ops\":{},\"uber\":{:.3e},",
-            "\"p50_us\":{:.1},\"p99_us\":{:.1},\"digest\":\"{:016x}\"}}"
+            "\"p50_us\":{:.1},\"p99_us\":{:.1},",
+            "\"pool_wait_ns_per_op\":{:.1},\"flash_ns_per_op\":{:.1},",
+            "\"timing_ns_per_op\":{:.1},\"accounting_ns_per_op\":{:.1},",
+            "\"digest\":\"{:016x}\"}}"
         ),
         shards,
         report.tenants.len(),
@@ -158,6 +174,10 @@ fn main() {
         report.stats.uber,
         report.stats.latency_p50_us,
         report.stats.latency_p99_us,
+        per_op(stage.pool_wait_ns),
+        per_op(stage.flash_ns),
+        per_op(stage.timing_ns),
+        per_op(stage.accounting_ns),
         report.stats.data_digest,
     )];
     for tenant in &report.tenants {

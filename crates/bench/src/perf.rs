@@ -30,6 +30,7 @@ pub use crate::replay::{
 };
 use crate::{hotpath, replay::engine_config};
 use readdisturb::prelude::*;
+use readdisturb::workloads::OpKind;
 
 /// Allowed aggregate-vs-exact mean-block-RBER deviation (full mode): the
 /// ratio must land in `[1/(1+ACCURACY), 1+ACCURACY]`.
@@ -233,6 +234,57 @@ pub fn run_harness(config: &HarnessConfig) -> HarnessOutcome {
                 stats.data_digest, base.stats.data_digest,
                 "aggregate digest diverged at {threads} threads"
             );
+        }
+    }
+
+    // Thread-scaling gate: the pooled flash phase must actually buy
+    // wall-clock on a multi-core host, not just stay deterministic. One
+    // large aggregate-tier batch (the trace cycled up to a fixed op count)
+    // is flash-phased at 1 and 4 workers; only the begin→join window is
+    // timed (the timing phase is serial by design), min-of-3 against
+    // scheduler noise. Skipped on hosts without 4 cores — the digest
+    // equality still runs there.
+    if config.tiers.contains(&ReadFidelity::BlockAggregate) && config.mode != "smoke" {
+        const SCALING_OPS: usize = 200_000;
+        let flash_wall = |workers: usize| -> (f64, u64) {
+            let mut best = f64::INFINITY;
+            let mut digest = 0;
+            for _ in 0..3 {
+                let mut engine = Engine::new(engine_config(pc, pd, ReadFidelity::BlockAggregate))
+                    .expect("engine");
+                for op in ops.iter().cycle().take(SCALING_OPS) {
+                    match op.kind {
+                        OpKind::Read => engine.submit_read(op.lpa),
+                        OpKind::Write => engine.submit_write(op.lpa),
+                    };
+                }
+                let started = std::time::Instant::now();
+                engine.begin_batch(workers);
+                engine.join_batch();
+                best = best.min(started.elapsed().as_secs_f64());
+                engine.finish_batch();
+                digest = engine.stats().data_digest;
+            }
+            (best, digest)
+        };
+        let (serial_s, serial_digest) = flash_wall(1);
+        let (pooled_s, pooled_digest) = flash_wall(4);
+        assert_eq!(serial_digest, pooled_digest, "flash digest diverged between 1 and 4 workers");
+        let ratio = serial_s / pooled_s.max(1e-12);
+        let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+        println!(
+            "## thread-scaling: {SCALING_OPS}-op aggregate flash phase {:.2} ms at 1 worker, \
+             {:.2} ms at 4 workers ({ratio:.2}x, {cores} cores)",
+            serial_s * 1e3,
+            pooled_s * 1e3,
+        );
+        if cores >= 4 {
+            assert!(
+                ratio >= 1.8,
+                "4-worker flash phase only {ratio:.2}x over 1 worker (gate: 1.8x on {cores} cores)"
+            );
+        } else {
+            println!("## thread-scaling: <4 cores, speedup gate skipped (digest gate enforced)");
         }
     }
 

@@ -22,11 +22,27 @@
 //! Completions land in the completion queue ordered by simulated completion
 //! time, and [`Engine::stats`] aggregates throughput, latency percentiles,
 //! and per-die reliability counters.
+//!
+//! # Pipelining
+//!
+//! [`Engine::run`] is sugar over a three-stage API that lets a front-end
+//! overlap consecutive batches: [`Engine::begin_batch`] launches the flash
+//! phase on a persistent [`WorkerPool`], [`Engine::join_batch`] collects
+//! the per-die results, and [`Engine::finish_batch`] runs the serial
+//! timing phase on the caller's thread. While the coordinator runs the
+//! timing phase of batch N, the pool can already execute the flash phase
+//! of batch N+1 — dies share no timing state, so the interleaving is
+//! bit-identical to running the batches back to back.
+
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::time::Instant;
 
 use rd_ftl::wire::{self, Reader, Writer};
 use rd_ftl::{ControllerPolicy, Die, FtlError, NoMitigation, ReadFidelity, SnapError, SsdConfig};
 use rd_workloads::{OpKind, TraceOp};
 
+use crate::pool::{PoolHandle, WorkerPool};
 use crate::queue::{CompletionQueue, IoCompletion, IoRequest, ReqKind, SubmissionQueue};
 use crate::stats::{fnv1a, percentiles_50_99, DieStats, EngineStats, FNV_OFFSET};
 use crate::timing::Timing;
@@ -164,6 +180,7 @@ struct ExecRich {
 
 /// Flash-phase output of one die. `rich` is empty on stats-only batches
 /// and parallel to `timing` otherwise.
+#[derive(Debug)]
 struct DieExec {
     timing: Vec<ExecTiming>,
     rich: Vec<ExecRich>,
@@ -178,6 +195,70 @@ struct DieExec {
     writes: u64,
     reads_not_written: u64,
     writes_failed: u64,
+    /// Wall-clock nanoseconds spent executing this die's work list
+    /// (measured inside the worker; summed into the flash stage counter).
+    wall_ns: u64,
+}
+
+/// A [`DieExec`] for a die with no work this batch: the digest is carried
+/// forward unchanged and every tally is zero. Identical to what
+/// [`execute_die`] returns on an empty work list, minus the clock reads.
+fn empty_exec(start_digest: u64) -> DieExec {
+    DieExec {
+        timing: Vec::new(),
+        rich: Vec::new(),
+        digest: start_digest,
+        background_us: 0.0,
+        busy_us: 0.0,
+        reads: 0,
+        writes: 0,
+        reads_not_written: 0,
+        writes_failed: 0,
+        wall_ns: 0,
+    }
+}
+
+/// Result shipped back from a pool worker: the die (ownership returns to
+/// the engine), its recycled work buffer, and the flash-phase output.
+type PoolResult<P> = (usize, Die<P>, Vec<WorkItem>, DieExec);
+
+/// Both ends of the persistent pool-dispatch result channel.
+type ResultChannel<P> = (Sender<PoolResult<P>>, Receiver<PoolResult<P>>);
+
+/// A flash phase in flight on the pool (or already executed inline).
+#[derive(Debug)]
+struct Flight {
+    /// Per-die results; `None` slots are still executing on the pool.
+    execs: Vec<Option<DieExec>>,
+    /// Dies dispatched to the pool and not yet collected.
+    outstanding: usize,
+    emit: bool,
+}
+
+/// A joined flash phase awaiting its serial timing pass.
+#[derive(Debug)]
+struct JoinedBatch {
+    execs: Vec<DieExec>,
+    emit: bool,
+}
+
+/// Wall-clock time spent in each stage of the engine's batch loop,
+/// cumulative since construction. Diagnostic only: the counters are kept
+/// out of [`EngineStats`] (which determinism gates compare bit-for-bit)
+/// and out of checkpoints.
+///
+/// `pool_wait_ns` is coordinator time blocked collecting pool results in
+/// [`Engine::join_batch`]; `flash_ns` is worker-side execution time summed
+/// over dies (it can exceed wall time when workers overlap); `timing_ns`
+/// is the serial discrete-event pass in [`Engine::finish_batch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStageNs {
+    /// Coordinator wait for pool results, ns.
+    pub pool_wait_ns: u64,
+    /// Worker-side flash execution, ns (summed over dies).
+    pub flash_ns: u64,
+    /// Serial timing phase, ns.
+    pub timing_ns: u64,
 }
 
 /// Fixed-capacity ring of the last `queue_depth` completion times
@@ -257,17 +338,40 @@ impl Window {
 #[derive(Debug)]
 pub struct Engine<P: ControllerPolicy = NoMitigation> {
     config: EngineConfig,
-    dies: Vec<Die<P>>,
+    /// The dies. A slot is `None` only while that die's flash phase is
+    /// executing on the worker pool (ownership moves into the job and
+    /// returns through `results`).
+    dies: Vec<Option<Die<P>>>,
     sq: SubmissionQueue,
     cq: CompletionQueue,
     next_id: u64,
     /// Per-die work lists, reused across batches (arena: cleared, never
     /// reallocated once the replay loop reaches steady state).
     work: Vec<Vec<WorkItem>>,
+    /// Second per-die arena set: while one batch's work lists are out on
+    /// the pool, the next batch fills these (double buffering for
+    /// pipelined batches; the buffers swap on every pooled dispatch).
+    spare_work: Vec<Vec<WorkItem>>,
     /// Reusable submission-drain buffer (service loops run a batch per
     /// ring doorbell; draining into this keeps the hot path allocation-free
     /// once it reaches steady state).
     batch_scratch: Vec<IoRequest>,
+    /// Externally attached pool slice (rd-serve shards share one pool).
+    /// When set, every flash phase runs on it.
+    pool: Option<PoolHandle>,
+    /// Lazily built engine-owned pool, used when no external pool is
+    /// attached and the caller asks for more than one worker. Rebuilt if a
+    /// later call asks for a different size.
+    owned_pool: Option<Arc<WorkerPool>>,
+    /// Persistent result channel for pool dispatch (created on first use;
+    /// workers hold clones of the sender only while jobs are in flight).
+    results: Option<ResultChannel<P>>,
+    /// Flash phase in flight (between `begin_batch` and `join_batch`).
+    flight: Option<Flight>,
+    /// Joined flash phase awaiting `finish_batch`.
+    joined: Option<JoinedBatch>,
+    /// Cumulative per-stage wall-clock counters (diagnostic only).
+    stage_ns: EngineStageNs,
     // Discrete-event clock state (persists across batches).
     die_free_us: Vec<f64>,
     chan_free_us: Vec<f64>,
@@ -318,7 +422,7 @@ impl<P: ControllerPolicy + Clone> Engine<P> {
         for d in 0..nd {
             let mut die_cfg = config.die.clone();
             die_cfg.seed = config.die_seed(d as u32);
-            dies.push(Die::with_policy(die_cfg, policy.clone())?);
+            dies.push(Some(Die::with_policy(die_cfg, policy.clone())?));
         }
         Ok(Self {
             config,
@@ -327,7 +431,14 @@ impl<P: ControllerPolicy + Clone> Engine<P> {
             cq: CompletionQueue::new(),
             next_id: 0,
             work: vec![Vec::new(); nd],
+            spare_work: vec![Vec::new(); nd],
             batch_scratch: Vec::new(),
+            pool: None,
+            owned_pool: None,
+            results: None,
+            flight: None,
+            joined: None,
+            stage_ns: EngineStageNs::default(),
             die_free_us: vec![0.0; nd],
             chan_free_us: vec![0.0; nc],
             inflight: vec![Window::new(qd); nd],
@@ -360,9 +471,10 @@ impl<P: ControllerPolicy> Engine<P> {
     ///
     /// # Panics
     ///
-    /// Panics if `die` is out of range.
+    /// Panics if `die` is out of range, or while that die's flash phase is
+    /// in flight on the pool (call [`Engine::join_batch`] first).
     pub fn die(&self, die: u32) -> &Die<P> {
-        &self.dies[die as usize]
+        self.dies[die as usize].as_ref().expect("die's flash phase in flight; join_batch() first")
     }
 
     /// Mutable access to a die (experiments may pre-wear chips or inject
@@ -370,9 +482,24 @@ impl<P: ControllerPolicy> Engine<P> {
     ///
     /// # Panics
     ///
-    /// Panics if `die` is out of range.
+    /// Panics if `die` is out of range, or while that die's flash phase is
+    /// in flight on the pool (call [`Engine::join_batch`] first).
     pub fn die_mut(&mut self, die: u32) -> &mut Die<P> {
-        &mut self.dies[die as usize]
+        self.dies[die as usize].as_mut().expect("die's flash phase in flight; join_batch() first")
+    }
+
+    /// Routes every subsequent flash phase to a slice of a shared
+    /// [`WorkerPool`] (rd-serve gives each shard engine a slice of one
+    /// machine-wide pool). Die `d` always runs on lane `d % workers`, so
+    /// results stay bit-identical for any slice size. Overrides the
+    /// `threads` argument of [`Engine::run`] / [`Engine::begin_batch`].
+    pub fn attach_pool(&mut self, pool: PoolHandle) {
+        self.pool = Some(pool);
+    }
+
+    /// Cumulative wall-clock stage counters (see [`EngineStageNs`]).
+    pub fn stage_ns(&self) -> EngineStageNs {
+        self.stage_ns
     }
 
     /// Enqueues a request; returns its command id.
@@ -424,7 +551,7 @@ impl<P: ControllerPolicy> Engine<P> {
     /// Propagates relocation failures.
     pub fn advance_time(&mut self, days: f64) -> Result<(), FtlError> {
         for die in &mut self.dies {
-            die.advance_time(days)?;
+            die.as_mut().expect("flash phase in flight; join_batch() first").advance_time(days)?;
         }
         Ok(())
     }
@@ -434,6 +561,7 @@ impl<P: ControllerPolicy> Engine<P> {
         let mut per_die = Vec::with_capacity(self.dies.len());
         let mut totals = rd_ftl::SsdStats::default();
         for (d, die) in self.dies.iter().enumerate() {
+            let die = die.as_ref().expect("flash phase in flight; join_batch() first");
             let ssd = die.stats();
             totals += ssd;
             let blocks = die.config().geometry.blocks;
@@ -535,6 +663,11 @@ impl<P: ControllerPolicy> Engine<P> {
                 "snapshot requires drained submission/completion queues".into(),
             ));
         }
+        if self.flight.is_some() || self.joined.is_some() {
+            return Err(SnapError::Mismatch(
+                "snapshot requires no batch in flight (join_batch + finish_batch first)".into(),
+            ));
+        }
         let mut w = Writer::new();
         w.section(SEC_CONFIG, |w| self.encode_config_fingerprint(w));
         w.section(SEC_CLOCK, |w| {
@@ -561,7 +694,7 @@ impl<P: ControllerPolicy> Engine<P> {
         w.section(SEC_DIES, |w| {
             w.put_u64(self.dies.len() as u64);
             for die in &self.dies {
-                die.encode_state(w);
+                die.as_ref().expect("no batch in flight").encode_state(w);
             }
         });
         Ok(wire::seal(ENGINE_SNAP_MAGIC, wire::SNAP_VERSION, &w.into_bytes()))
@@ -584,6 +717,11 @@ impl<P: ControllerPolicy> Engine<P> {
         if !self.sq.is_empty() || !self.cq.is_empty() {
             return Err(SnapError::Mismatch(
                 "restore requires drained submission/completion queues".into(),
+            ));
+        }
+        if self.flight.is_some() || self.joined.is_some() {
+            return Err(SnapError::Mismatch(
+                "restore requires no batch in flight (join_batch + finish_batch first)".into(),
             ));
         }
         let payload = wire::open(bytes, ENGINE_SNAP_MAGIC, wire::SNAP_VERSION)?;
@@ -648,28 +786,45 @@ impl<P: ControllerPolicy> Engine<P> {
             )));
         }
         for die in &mut self.dies {
-            die.restore_state(&mut dies)?;
+            die.as_mut().expect("no batch in flight").restore_state(&mut dies)?;
         }
         Ok(())
     }
 }
 
-impl<P: ControllerPolicy + Send> Engine<P> {
+impl<P: ControllerPolicy + Send + 'static> Engine<P> {
     /// Processes the entire submission queue as one batch: flash phase
     /// (parallel over dies, `threads` workers; 0 = one per available core)
     /// then timing phase. Returns the number of requests completed; the
     /// completions are in the completion queue, ordered by simulated
     /// completion time. Results are bit-identical for any thread count.
+    ///
+    /// Equivalent to [`Engine::begin_batch`] + [`Engine::join_batch`] +
+    /// [`Engine::finish_batch`] with no overlap.
     pub fn run(&mut self, threads: usize) -> usize {
-        self.run_batch(threads, true)
+        if self.begin_batch(threads) == 0 {
+            return 0;
+        }
+        self.join_batch();
+        self.finish_batch()
     }
 
-    /// [`Engine::run`] minus completion emission: the flash phase, the
-    /// discrete-event timing pass, and every statistic are identical, but no
-    /// [`IoCompletion`] records are built, sorted, or queued. Bulk replay
-    /// harnesses that only consume [`Engine::stats`] use this to keep the
-    /// per-request cost flat.
-    fn run_batch(&mut self, threads: usize, emit: bool) -> usize {
+    /// Drains the submission queue into per-die work lists and launches
+    /// the flash phase — on the attached [`PoolHandle`] if one is set
+    /// (then `threads` is ignored), on a lazily built engine-owned pool
+    /// for `threads > 1`, or inline on the calling thread for a single
+    /// worker. Returns the batch size; an empty submission queue returns 0
+    /// and launches nothing.
+    ///
+    /// While a pooled flash phase is in flight, the affected dies are
+    /// owned by the pool: [`Engine::die`], [`Engine::stats`], snapshots,
+    /// and the next `begin_batch` all require [`Engine::join_batch`]
+    /// first. Submitting more requests is fine — they form the next batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flash phase is already in flight.
+    pub fn begin_batch(&mut self, threads: usize) -> usize {
         let mut batch = std::mem::take(&mut self.batch_scratch);
         batch.clear();
         self.sq.drain_into(&mut batch);
@@ -684,27 +839,163 @@ impl<P: ControllerPolicy + Send> Engine<P> {
             let (die, die_lpa) = self.config.topology.stripe(req.lpa);
             self.work[die as usize].push(WorkItem { id: req.id, kind: req.kind, die_lpa });
         }
+        let n = batch.len();
         self.batch_scratch = batch;
-        self.run_prepared(threads, emit)
+        self.spawn_flash(threads, true);
+        n
+    }
+
+    /// Collects the in-flight flash phase launched by
+    /// [`Engine::begin_batch`]: blocks until every dispatched die returns,
+    /// folds digests and per-die counters, and parks the result for
+    /// [`Engine::finish_batch`]. After this the dies are accessible again
+    /// and the *next* batch may begin before the timing phase of this one
+    /// runs — that is the pipelining window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no flash phase is in flight, or if a joined batch is
+    /// already awaiting [`Engine::finish_batch`].
+    pub fn join_batch(&mut self) {
+        assert!(self.joined.is_none(), "joined batch awaits finish_batch()");
+        let joined = self.join_flash();
+        self.joined = Some(joined);
+    }
+
+    /// Runs the serial timing phase of the batch parked by
+    /// [`Engine::join_batch`] and queues its completions. Returns the
+    /// number of requests completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no joined batch is pending.
+    pub fn finish_batch(&mut self) -> usize {
+        let joined = self.joined.take().expect("no joined batch; call join_batch() first");
+        self.timing_phase(joined)
     }
 
     /// Runs the per-die work lists already distributed into `self.work`
     /// (the arena the replay entry points fill directly, skipping the
     /// submission-queue pass).
     fn run_prepared(&mut self, threads: usize, emit: bool) -> usize {
-        let nd = self.dies.len();
+        self.spawn_flash(threads, emit);
+        let joined = self.join_flash();
+        self.timing_phase(joined)
+    }
 
-        // Phase 1: flash execution, parallel over dies.
-        let threads = resolve_threads(threads, nd);
-        let mut execs = execute_dies(
-            &mut self.dies,
-            &self.work,
-            &self.config.timing,
-            self.config.capture_read_data,
-            &self.die_digest,
-            threads,
-            emit,
-        );
+    /// Phase 1 launch: dispatches every non-empty per-die work list to the
+    /// selected executor. The attached pool (if any) always runs the phase
+    /// — even with one lane, so a pipelining front-end still overlaps it
+    /// with the coordinator's timing pass. Without an attached pool,
+    /// `threads <= 1` executes inline and `threads > 1` uses the lazily
+    /// built engine-owned pool. Die `d` maps to lane `d % workers` — a
+    /// pure function of die index and pool size, so execution partitioning
+    /// (and therefore every digest) is reproducible.
+    fn spawn_flash(&mut self, threads: usize, emit: bool) {
+        assert!(self.flight.is_none(), "flash phase already in flight; call join_batch() first");
+        let nd = self.dies.len();
+        let handle = match &self.pool {
+            Some(h) => Some(h.clone()),
+            None => {
+                let t = resolve_threads(threads, nd);
+                if t <= 1 {
+                    None
+                } else {
+                    if self.owned_pool.as_ref().map(|p| p.workers()) != Some(t) {
+                        self.owned_pool = Some(Arc::new(WorkerPool::new(t)));
+                    }
+                    let pool = self.owned_pool.as_ref().expect("just built");
+                    Some(PoolHandle::all(Arc::clone(pool)))
+                }
+            }
+        };
+        let mut execs: Vec<Option<DieExec>> = Vec::with_capacity(nd);
+        let Some(handle) = handle else {
+            // Inline execution on the calling thread (identical results).
+            for d in 0..nd {
+                let die = self.dies[d].as_mut().expect("die present");
+                let exec = execute_die(
+                    die,
+                    &self.work[d],
+                    &self.config.timing,
+                    self.config.capture_read_data,
+                    self.die_digest[d],
+                    emit,
+                    d as u64,
+                    nd as u64,
+                );
+                execs.push(Some(exec));
+            }
+            self.flight = Some(Flight { execs, outstanding: 0, emit });
+            return;
+        };
+        if self.results.is_none() {
+            self.results = Some(mpsc::channel());
+        }
+        let tx = self.results.as_ref().expect("created above").0.clone();
+        let mut outstanding = 0usize;
+        for d in 0..nd {
+            if self.work[d].is_empty() {
+                execs.push(Some(empty_exec(self.die_digest[d])));
+                continue;
+            }
+            execs.push(None);
+            let die = self.dies[d].take().expect("die present");
+            // Swap in the spare arena so the next batch can fill per-die
+            // work lists while this one is still out on the pool.
+            let work =
+                std::mem::replace(&mut self.work[d], std::mem::take(&mut self.spare_work[d]));
+            let start_digest = self.die_digest[d];
+            let timing = self.config.timing;
+            let capture = self.config.capture_read_data;
+            let dies_u64 = nd as u64;
+            let tx = tx.clone();
+            handle.submit(
+                d,
+                Box::new(move || {
+                    let mut die = die;
+                    let exec = execute_die(
+                        &mut die,
+                        &work,
+                        &timing,
+                        capture,
+                        start_digest,
+                        emit,
+                        d as u64,
+                        dies_u64,
+                    );
+                    // Send fails only if the engine was dropped mid-flight;
+                    // the die is discarded along with it.
+                    let _ = tx.send((d, die, work, exec));
+                }),
+            );
+            outstanding += 1;
+        }
+        self.flight = Some(Flight { execs, outstanding, emit });
+    }
+
+    /// Phase 1 collection: receives every outstanding pool result, returns
+    /// dies and work arenas to their slots, and folds digests and
+    /// cumulative per-die counters in die order (fold order is independent
+    /// of completion order, so accounting is deterministic).
+    fn join_flash(&mut self) -> JoinedBatch {
+        let flight =
+            self.flight.take().expect("no flash phase in flight; call begin_batch() first");
+        let Flight { mut execs, outstanding, emit } = flight;
+        if outstanding > 0 {
+            let started = Instant::now();
+            let rx = &self.results.as_ref().expect("pooled flight has a channel").1;
+            for _ in 0..outstanding {
+                let (d, die, mut work, exec) = rx.recv().expect("pool worker died");
+                self.dies[d] = Some(die);
+                work.clear();
+                self.spare_work[d] = work;
+                execs[d] = Some(exec);
+            }
+            self.stage_ns.pool_wait_ns += started.elapsed().as_nanos() as u64;
+        }
+        let execs: Vec<DieExec> =
+            execs.into_iter().map(|e| e.expect("every die resolved")).collect();
         for (d, e) in execs.iter().enumerate() {
             self.die_digest[d] = e.digest;
             self.die_background_us[d] += e.background_us;
@@ -714,9 +1005,18 @@ impl<P: ControllerPolicy + Send> Engine<P> {
             self.writes += e.writes;
             self.reads_not_written += e.reads_not_written;
             self.writes_failed += e.writes_failed;
+            self.stage_ns.flash_ns += e.wall_ns;
         }
+        JoinedBatch { execs, emit }
+    }
 
-        // Phase 2: discrete-event timing. Repeatedly dispatch the request
+    /// Phase 2: serial discrete-event timing over a joined batch.
+    fn timing_phase(&mut self, joined: JoinedBatch) -> usize {
+        let started = Instant::now();
+        let JoinedBatch { mut execs, emit } = joined;
+        let nd = self.dies.len();
+
+        // Discrete-event timing. Repeatedly dispatch the request
         // with the earliest per-die ready time (queue-depth pacing + die
         // availability), serializing channel transfer slots. A die's
         // (ready, submit) pair only changes when that die dispatches, so the
@@ -817,6 +1117,7 @@ impl<P: ControllerPolicy + Send> Engine<P> {
         for c in completions {
             self.cq.push(c);
         }
+        self.stage_ns.timing_ns += started.elapsed().as_nanos() as u64;
         total
     }
 
@@ -940,50 +1241,6 @@ impl FastDiv {
     }
 }
 
-/// Flash phase: each die executes its work list in order. With more than one
-/// worker the die set is chunked over scoped threads; dies share no state,
-/// so any chunking yields identical results.
-fn execute_dies<P: ControllerPolicy + Send>(
-    dies: &mut [Die<P>],
-    work: &[Vec<WorkItem>],
-    timing: &Timing,
-    capture: bool,
-    start_digests: &[u64],
-    threads: usize,
-    emit: bool,
-) -> Vec<DieExec> {
-    let nd = dies.len() as u64;
-    let mut units: Vec<(u64, &mut Die<P>, &[WorkItem], u64)> = dies
-        .iter_mut()
-        .zip(work.iter())
-        .zip(start_digests.iter())
-        .enumerate()
-        .map(|(d, ((die, w), &dg))| (d as u64, die, w.as_slice(), dg))
-        .collect();
-    if threads <= 1 {
-        return units
-            .iter_mut()
-            .map(|(d, die, w, dg)| execute_die(die, w, timing, capture, *dg, emit, *d, nd))
-            .collect();
-    }
-    let chunk = units.len().div_ceil(threads);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = units
-            .chunks_mut(chunk)
-            .map(|c| {
-                s.spawn(move || {
-                    c.iter_mut()
-                        .map(|(d, die, w, dg)| {
-                            execute_die(die, w, timing, capture, *dg, emit, *d, nd)
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("die worker panicked")).collect()
-    })
-}
-
 /// Executes one die's work list, measuring per-request service time from the
 /// timing constants plus the controller-counter delta (background GC/refresh
 /// relocations and erases the request triggered).
@@ -998,6 +1255,7 @@ fn execute_die<P: ControllerPolicy>(
     die_index: u64,
     dies: u64,
 ) -> DieExec {
+    let wall_started = Instant::now();
     let mut timing_recs = Vec::with_capacity(work.len());
     let mut rich = Vec::with_capacity(if emit { work.len() } else { 0 });
     let mut digest = start_digest;
@@ -1072,6 +1330,7 @@ fn execute_die<P: ControllerPolicy>(
         writes,
         reads_not_written,
         writes_failed,
+        wall_ns: wall_started.elapsed().as_nanos() as u64,
     }
 }
 

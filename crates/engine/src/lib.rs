@@ -32,12 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod pool;
 pub mod queue;
 pub mod stats;
 pub mod timing;
 pub mod topology;
 
-pub use engine::{Engine, EngineConfig, FastDiv, ENGINE_SNAP_MAGIC};
+pub use engine::{Engine, EngineConfig, EngineStageNs, FastDiv, ENGINE_SNAP_MAGIC};
+pub use pool::{PoolHandle, WorkerPool};
 pub use queue::{CompletionQueue, IoCompletion, IoRequest, ReqKind, SubmissionQueue};
 pub use rd_ftl::wire;
 pub use rd_ftl::SnapError;

@@ -207,6 +207,14 @@ impl AnalyticModel {
     }
 }
 
+/// Per-bit error floor from programming-distribution tail overlap at the
+/// factory read references (the page-analytic backend's fresh-block floor;
+/// see `analytic_block`). Exposed for benchmarks and calibration tooling
+/// that want the read-count-independent part of the closed form on its own.
+pub fn gaussian_tail_floor(params: &crate::params::ChipParams, pe_cycles: u64) -> f64 {
+    crate::analytic_block::gaussian_tail_floor_shifted(params, pe_cycles, 0.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

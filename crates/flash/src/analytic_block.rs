@@ -76,6 +76,22 @@ pub(crate) const RETRY_SHIFT_DECAY: f64 = 10.0;
 /// just overflow the sampled error count.
 pub(crate) const RETRY_SHIFT_GAIN_CAP: f64 = 32.0;
 
+/// Operating-point constants of a block: every closed-form term that
+/// depends only on `(pe_cycles, age_days, vpass)`, not on the read
+/// counters. Reads within a batch share the operating point, so hoisting
+/// these leaves only the disturb-linear fold (one multiply-add and an
+/// `ln_1p`) on the per-read path.
+#[derive(Debug, Clone, Copy)]
+struct OpPoint {
+    /// Per-read disturb slope at the current Vpass.
+    slope: f64,
+    /// Read-count-independent RBER: Gaussian tail floor + P/E noise +
+    /// retention, summed in the exact order of the uncached path.
+    static_rber: f64,
+    /// Per-bitline pass-through blocking probability at the current Vpass.
+    blocked_prob: f64,
+}
+
 /// One flash block of the page-analytic chip model.
 #[derive(Debug, Clone)]
 pub(crate) struct AnalyticBlock {
@@ -100,6 +116,10 @@ pub(crate) struct AnalyticBlock {
     /// wordlines (their own reads do not pass-through-stress them),
     /// positive on hammer neighbours.
     pending_extra: Vec<f64>,
+    /// Lazily computed operating-point constants; invalidated whenever
+    /// `pe_cycles`, `age_days`, or `vpass` changes. Never serialized —
+    /// a restored block recomputes on first read.
+    op_cache: Option<OpPoint>,
 }
 
 impl AnalyticBlock {
@@ -119,7 +139,27 @@ impl AnalyticBlock {
             folded_extra: vec![0.0; wordlines as usize],
             pending_reads: 0.0,
             pending_extra: vec![0.0; wordlines as usize],
+            op_cache: None,
         }
+    }
+
+    /// The block's operating-point constants, recomputed only after a
+    /// `(pe_cycles, age_days, vpass)` change. `static_rber` preserves the
+    /// uncached path's left-to-right summation order exactly, so cached
+    /// reads are bit-identical to fresh evaluation.
+    fn op_point(&mut self, params: &ChipParams, model: &AnalyticModel) -> OpPoint {
+        if let Some(c) = self.op_cache {
+            return c;
+        }
+        let c = OpPoint {
+            slope: model.rd_slope(self.pe_cycles, self.vpass),
+            static_rber: gaussian_tail_floor_shifted(params, self.pe_cycles, 0.0)
+                + model.rber_pe(self.pe_cycles)
+                + model.rber_retention(self.pe_cycles, self.age_days),
+            blocked_prob: 2.0 * model.rber_passthrough(self.pe_cycles, self.age_days, self.vpass),
+        };
+        self.op_cache = Some(c);
+        c
     }
 
     fn pages(&self) -> u32 {
@@ -137,6 +177,7 @@ impl AnalyticBlock {
         self.folded_extra.fill(0.0);
         self.pending_reads = 0.0;
         self.pending_extra.fill(0.0);
+        self.op_cache = None;
     }
 
     pub(crate) fn erase(&mut self) {
@@ -152,6 +193,7 @@ impl AnalyticBlock {
     pub(crate) fn advance_days(&mut self, days: f64) {
         assert!(days >= 0.0, "time flows forward");
         self.age_days += days;
+        self.op_cache = None;
     }
 
     pub(crate) fn vpass(&self) -> f64 {
@@ -175,6 +217,7 @@ impl AnalyticBlock {
         }
         self.fold_pending(model);
         self.vpass = vpass;
+        self.op_cache = None;
         Ok(())
     }
 
@@ -341,6 +384,7 @@ impl AnalyticBlock {
         self.folded_extra = folded_extra;
         self.pending_reads = pending_reads;
         self.pending_extra = pending_extra;
+        self.op_cache = None;
         Ok(())
     }
 
@@ -370,6 +414,7 @@ impl AnalyticBlock {
         // retention period (same rule as the cell-exact block).
         if !self.page_programmed.iter().any(|&p| p) {
             self.age_days = 0.0;
+            self.op_cache = None;
         }
         self.page_data[page as usize].clear();
         self.page_data[page as usize].extend_from_slice(data);
@@ -431,14 +476,34 @@ impl AnalyticBlock {
         let mut data =
             if programmed { self.page_data[page as usize].clone() } else { vec![0xFF; nbits / 8] };
 
-        let p_err = self.rber_wordline_shifted(params, model, wl, shift);
+        let c = self.op_point(params, model);
+        let p_err = if shift == 0.0 {
+            // Default read path: only the disturb fold depends on the read
+            // counters; everything else comes from the cached operating
+            // point. Summation order matches the uncached path (the shift
+            // gain factors are exactly 1.0 at `shift == 0`), so this is
+            // bit-identical to `rber_wordline_shifted(.., 0.0)`.
+            let wli = wl as usize;
+            let lin = (self.folded_lin
+                + self.folded_extra[wli]
+                + c.slope * (self.pending_reads + self.pending_extra[wli]))
+                .max(0.0);
+            let p = model.params();
+            let rd = p.rd_sat * (lin / p.rd_sat).ln_1p();
+            c.static_rber + rd
+        } else {
+            // Retry reads pay the full shifted evaluation: the floor and
+            // the gain factors all depend on the shift, so there is
+            // nothing operating-point-stable to reuse.
+            self.rber_wordline_shifted(params, model, wl, shift)
+        };
         let flips = sample_binomial(rng, self.bitlines as u64, p_err);
         for_distinct_positions(rng, self.bitlines, flips, |bl| {
             let i = bl as usize;
             data[i / 8] ^= 1 << (i % 8);
         });
 
-        let p_block = self.blocked_prob(model);
+        let p_block = c.blocked_prob;
         let mut blocked = 0u64;
         if p_block > 0.0 {
             blocked = sample_binomial(rng, self.bitlines as u64, p_block);
@@ -709,6 +774,45 @@ mod tests {
         assert_eq!(st.age_days, 0.0);
         assert_eq!(st.dose, 0.0);
         assert_eq!(st.programmed_pages, 0);
+    }
+
+    #[test]
+    fn op_point_cache_is_bit_identical_to_fresh_evaluation() {
+        let (mut block, params, model, mut rng) = setup();
+        block.pre_wear(8_000);
+        program_all(&mut block, &mut rng);
+        block.advance_days(30.0);
+        block.apply_read_disturbs(200_000);
+        block.hammer_wordline(&params, 3, 50_000);
+        // Cached reads (the block warms its op-point cache on the first
+        // read) must consume RNG draws and produce data bit-identically to
+        // a cache-cold clone evaluated fresh at every step.
+        for trial in 0..16 {
+            let mut cold = block.clone();
+            cold.op_cache = None;
+            let mut rng_a = StdRng::seed_from_u64(100 + trial);
+            let mut rng_b = StdRng::seed_from_u64(100 + trial);
+            for page in [0u32, 6, 7, 12] {
+                let warm = block.read_page(&params, &model, &mut rng_a, page, true).unwrap();
+                let fresh = cold.read_page(&params, &model, &mut rng_b, page, true).unwrap();
+                assert_eq!(warm.data, fresh.data);
+                assert_eq!(warm.stats.errors, fresh.stats.errors);
+                assert_eq!(warm.blocked_bitlines, fresh.blocked_bitlines);
+            }
+            // Keep operating points aligned across trials.
+            block.advance_days(1.0);
+        }
+        // Every op-point mutator must invalidate the cache.
+        let warm = block.op_point(&params, &model);
+        block.advance_days(5.0);
+        assert!(block.op_cache.is_none(), "advance_days must invalidate");
+        assert_ne!(warm.static_rber, block.op_point(&params, &model).static_rber);
+        block.set_vpass(&params, &model, params.min_vpass).unwrap();
+        assert!(block.op_cache.is_none(), "set_vpass must invalidate");
+        let lo = block.op_point(&params, &model);
+        assert!(lo.blocked_prob > 0.0 && lo.slope < warm.slope);
+        block.erase();
+        assert!(block.op_cache.is_none(), "erase must invalidate");
     }
 
     #[test]

@@ -77,7 +77,7 @@ mod aggregate_block;
 mod analytic_block;
 mod block;
 
-pub use analytic::{AnalyticModel, AnalyticParams, RberBreakdown};
+pub use analytic::{gaussian_tail_floor, AnalyticModel, AnalyticParams, RberBreakdown};
 pub use block::{Block, BlockStatus};
 pub use cell_array::CellArray;
 pub use chip::{Chip, ReadOutcome, RetryReadOutcome, VthHistogram};

@@ -31,8 +31,9 @@ pub struct CliOptions {
     pub batch_ops: usize,
     /// Per-die queue depth.
     pub queue_depth: u32,
-    /// Flash-phase threads inside each shard engine.
-    pub threads_per_shard: usize,
+    /// Shared flash worker pool size (0 = one lane per available core);
+    /// every shard draws a proportional slice.
+    pub pool_threads: usize,
     /// Tenant specs; empty means the default 4-tenant mix.
     pub tenants: Vec<TenantConfig>,
     /// Write a JSON snapshot here after `run`.
@@ -51,7 +52,7 @@ impl Default for CliOptions {
             ops: 200_000,
             batch_ops: 512,
             queue_depth: 16,
-            threads_per_shard: 1,
+            pool_threads: 0,
             tenants: Vec::new(),
             snapshot: None,
         }
@@ -108,7 +109,7 @@ impl CliOptions {
             shards: self.shards,
             batch_ops: self.batch_ops,
             max_inflight_batches: 4,
-            threads_per_shard: self.threads_per_shard,
+            pool_threads: self.pool_threads,
         }
     }
 
@@ -180,7 +181,8 @@ FLAGS:
     --ops <n>          host ops to serve (run mode)     [default: 200000]
     --batch <n>        ops per shard batch              [default: 512]
     --queue-depth <n>  per-die queue depth              [default: 16]
-    --threads-per-shard <n>  flash threads per shard    [default: 1]
+    --pool-threads <n> shared flash worker pool size; 0 = one
+                       lane per core                    [default: 0]
     --tenant <spec>    name:profile:ops_per_s[:burst_factor]; repeatable
                        (default: 4-tenant web/fin/mail/eng mix)
     --snapshot <path>  write a JSON report here after run
@@ -224,9 +226,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--ops" => options.ops = parse_num(&value(flag)?, flag)?,
             "--batch" => options.batch_ops = parse_num(&value(flag)?, flag)?,
             "--queue-depth" => options.queue_depth = parse_num(&value(flag)?, flag)?,
-            "--threads-per-shard" => {
-                options.threads_per_shard = parse_num(&value(flag)?, flag)?;
-            }
+            "--pool-threads" => options.pool_threads = parse_num(&value(flag)?, flag)?,
             "--tenant" => options.tenants.push(TenantConfig::parse_spec(&value(flag)?)?),
             "--snapshot" => options.snapshot = Some(value(flag)?),
             "-h" | "--help" => return Ok(Command::Help),

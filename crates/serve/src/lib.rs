@@ -45,6 +45,8 @@ pub mod tenant;
 
 pub use accounting::{TenantAccounting, TenantSummary};
 pub use cli::{CliOptions, Command};
-pub use service::{ServeConfig, Service, ServiceReport, SERVICE_SNAP_MAGIC, SERVICE_SNAP_VERSION};
+pub use service::{
+    ServeConfig, Service, ServiceReport, ServiceStageNs, SERVICE_SNAP_MAGIC, SERVICE_SNAP_VERSION,
+};
 pub use shard::ShardPlan;
 pub use tenant::{ServiceOp, TenantConfig, Traffic};

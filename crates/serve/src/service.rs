@@ -1,30 +1,45 @@
-//! The sharded service: one engine + worker thread per channel group.
+//! The sharded service: one engine + worker thread per channel group,
+//! with the flash phase on one machine-wide worker pool.
 //!
 //! [`Service`] owns `shards` worker threads, each wrapping its own
 //! [`rd_engine::Engine`] over a disjoint channel group (see
 //! [`crate::ShardPlan`]). The front-end routes each incoming op to its
 //! shard, accumulates per-shard batches, and ships them over an mpsc
-//! channel; workers submit the batch to their engine's submission ring,
-//! run the flash + timing phases, drain the completion ring (with the
-//! buffer-reusing `drain_into`), and fold every completion into per-tenant
-//! accounting. An admission window (`max_inflight_batches`) keeps the
-//! open-loop generator from growing queues without bound.
+//! channel. An admission window (`max_inflight_batches`) keeps the
+//! open-loop generator from growing queues without bound, and settled
+//! batch buffers recycle back to the front-end, so the steady-state hot
+//! loop allocates nothing.
+//!
+//! **Multi-core serving.** One shared [`rd_engine::WorkerPool`] of
+//! `pool_threads` lanes (default: one per core) serves every shard: each
+//! shard engine gets a proportional slice, so a 4-shard deployment on a
+//! 16-core machine runs 16 flash workers instead of 4 shard threads. The
+//! shard worker loop is pipelined over the engine's three-stage batch API:
+//! when batch N+1 arrives while batch N's flash phase is on the pool, the
+//! worker joins N, launches N+1, and only then runs N's serial timing
+//! phase and tenant-accounting fold — coordinator work overlaps pool work.
 //!
 //! **Digest parity.** Workers process batches FIFO and each shard engine
 //! sees exactly the ops the monolithic engine's matching dies would see, in
-//! the same order, with the same per-die RNG streams — so the merged data
-//! digest ([`rd_engine::EngineStats::merge_shards`]) is bit-identical to a
-//! single-engine batch replay of the same op sequence. The integration
-//! suite and the `ext_serve_traffic` bench gate on this.
+//! the same order, with the same per-die RNG streams; the pool assigns die
+//! `d` to lane `d % workers` with no stealing, and pipelining reorders only
+//! wall-clock execution, never the simulated sequence. The merged data
+//! digest ([`rd_engine::EngineStats::merge_shards`]) is therefore
+//! bit-identical to a single-engine batch replay of the same op sequence at
+//! every pool size. The integration suite and the `ext_serve_traffic`
+//! bench gate on this.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use rd_engine::wire::{self, Reader, Writer};
-use rd_engine::{Engine, EngineConfig, EngineStats, ReqKind, SnapError};
+use rd_engine::{
+    Engine, EngineConfig, EngineStageNs, EngineStats, IoCompletion, PoolHandle, ReqKind, SnapError,
+    WorkerPool,
+};
 use rd_ftl::FtlError;
 
 use crate::accounting::{TenantAccounting, TenantSummary};
@@ -44,8 +59,11 @@ pub struct ServeConfig {
     /// Admission window: max batches in flight per shard before
     /// `submit` backpressures the generator.
     pub max_inflight_batches: u64,
-    /// Flash-phase worker threads inside each shard engine.
-    pub threads_per_shard: usize,
+    /// Size of the shared flash worker pool every shard draws from; 0
+    /// means one lane per available core. Each shard gets a proportional
+    /// slice (at least one lane; slices overlap when the pool is smaller
+    /// than the shard count). Results are bit-identical at any size.
+    pub pool_threads: usize,
 }
 
 impl ServeConfig {
@@ -57,7 +75,7 @@ impl ServeConfig {
             shards: 2,
             batch_ops: 64,
             max_inflight_batches: 4,
-            threads_per_shard: 1,
+            pool_threads: 1,
         }
     }
 }
@@ -93,6 +111,8 @@ enum ShardMsg {
 struct ShardReport {
     stats: EngineStats,
     tenants: Vec<TenantAccounting>,
+    stage: EngineStageNs,
+    accounting_ns: u64,
 }
 
 struct ShardWorker {
@@ -104,50 +124,178 @@ struct ShardWorker {
     submitted: u64,
     /// Batches the worker finished (shared with the worker thread).
     completed: Arc<AtomicU64>,
+    /// Settled batch buffers coming back from the worker for reuse.
+    recycle: Receiver<Vec<ShardOp>>,
+}
+
+/// A batch whose flash phase is on the pool: the ops are kept for tenant
+/// attribution, `base_id` maps completion ids back to batch slots.
+struct InflightBatch {
+    ops: Vec<ShardOp>,
+    base_id: u64,
+}
+
+/// Submits a batch's ops to the shard engine and launches its flash phase
+/// on the attached pool slice. Returns the id of the first request.
+fn submit_and_begin(engine: &mut Engine, batch: &[ShardOp]) -> u64 {
+    let mut base_id = None;
+    for op in batch {
+        let id = engine.submit(op.kind, op.lpa);
+        base_id.get_or_insert(id);
+    }
+    engine.begin_batch(1);
+    base_id.unwrap_or(0)
+}
+
+/// Completes a joined batch: serial timing phase, completion drain, tenant
+/// accounting fold, buffer recycle, and the completion count the admission
+/// window watches. The caller must have called `join_batch` already.
+fn settle_batch(
+    engine: &mut Engine,
+    inflight: InflightBatch,
+    accounting: &mut [TenantAccounting],
+    scratch: &mut Vec<IoCompletion>,
+    accounting_ns: &mut u64,
+    recycle: &Sender<Vec<ShardOp>>,
+    completed: &AtomicU64,
+) {
+    engine.finish_batch();
+    let started = Instant::now();
+    scratch.clear();
+    engine.drain_completions_into(scratch);
+    for completion in scratch.iter() {
+        let slot = (completion.id - inflight.base_id) as usize;
+        let tenant = usize::from(inflight.ops[slot].tenant);
+        accounting[tenant].record(completion);
+    }
+    *accounting_ns += started.elapsed().as_nanos() as u64;
+    let mut ops = inflight.ops;
+    ops.clear();
+    // The front-end may be mid-shutdown and not listening; drop it then.
+    let _ = recycle.send(ops);
+    completed.fetch_add(1, Ordering::Release);
 }
 
 fn shard_worker_loop(
     mut engine: Engine,
     inbox: Receiver<ShardMsg>,
     completed: Arc<AtomicU64>,
+    recycle: Sender<Vec<ShardOp>>,
     tenants: usize,
-    flash_threads: usize,
 ) {
     let mut accounting: Vec<TenantAccounting> = vec![TenantAccounting::default(); tenants];
     let mut scratch = Vec::new();
-    while let Ok(msg) = inbox.recv() {
+    let mut accounting_ns = 0u64;
+    let mut inflight: Option<InflightBatch> = None;
+    loop {
+        // While a flash phase is on the pool, poll instead of park: if no
+        // follow-up message is ready the pipeline window closes immediately
+        // (flush() spins on the completed counter and sends nothing).
+        let msg = if inflight.is_some() {
+            match inbox.try_recv() {
+                Ok(msg) => msg,
+                Err(TryRecvError::Empty) => {
+                    let prev = inflight.take().expect("checked above");
+                    engine.join_batch();
+                    settle_batch(
+                        &mut engine,
+                        prev,
+                        &mut accounting,
+                        &mut scratch,
+                        &mut accounting_ns,
+                        &recycle,
+                        &completed,
+                    );
+                    continue;
+                }
+                Err(TryRecvError::Disconnected) => break,
+            }
+        } else {
+            match inbox.recv() {
+                Ok(msg) => msg,
+                Err(_) => break,
+            }
+        };
         match msg {
             ShardMsg::Batch(batch) => {
-                let mut base_id = None;
-                for op in &batch {
-                    let id = engine.submit(op.kind, op.lpa);
-                    base_id.get_or_insert(id);
+                if batch.is_empty() {
+                    let _ = recycle.send(batch);
+                    completed.fetch_add(1, Ordering::Release);
+                    continue;
                 }
-                let base_id = base_id.unwrap_or(0);
-                engine.run(flash_threads);
-                scratch.clear();
-                engine.drain_completions_into(&mut scratch);
-                for completion in &scratch {
-                    let slot = (completion.id - base_id) as usize;
-                    let tenant = usize::from(batch[slot].tenant);
-                    accounting[tenant].record(completion);
+                if let Some(prev) = inflight.take() {
+                    // The pipeline overlap: collect the previous flash
+                    // phase, launch the new one, and only then run the
+                    // previous batch's timing + accounting while the pool
+                    // executes the new flash phase.
+                    engine.join_batch();
+                    let base_id = submit_and_begin(&mut engine, &batch);
+                    settle_batch(
+                        &mut engine,
+                        prev,
+                        &mut accounting,
+                        &mut scratch,
+                        &mut accounting_ns,
+                        &recycle,
+                        &completed,
+                    );
+                    inflight = Some(InflightBatch { ops: batch, base_id });
+                } else {
+                    let base_id = submit_and_begin(&mut engine, &batch);
+                    inflight = Some(InflightBatch { ops: batch, base_id });
                 }
-                completed.fetch_add(1, Ordering::Release);
             }
-            ShardMsg::Report(reply) => {
-                let report = ShardReport { stats: engine.stats(), tenants: accounting.clone() };
-                // The service side may have dropped the reply receiver on a
-                // racing shutdown; nothing to do then.
-                let _ = reply.send(report);
+            control => {
+                // Control messages observe fully settled state.
+                if let Some(prev) = inflight.take() {
+                    engine.join_batch();
+                    settle_batch(
+                        &mut engine,
+                        prev,
+                        &mut accounting,
+                        &mut scratch,
+                        &mut accounting_ns,
+                        &recycle,
+                        &completed,
+                    );
+                }
+                match control {
+                    ShardMsg::Batch(_) => unreachable!("handled above"),
+                    ShardMsg::Report(reply) => {
+                        let report = ShardReport {
+                            stats: engine.stats(),
+                            tenants: accounting.clone(),
+                            stage: engine.stage_ns(),
+                            accounting_ns,
+                        };
+                        // The service side may have dropped the reply
+                        // receiver on a racing shutdown; nothing to do then.
+                        let _ = reply.send(report);
+                    }
+                    ShardMsg::Snapshot(reply) => {
+                        let _ = reply.send(engine.snapshot());
+                    }
+                    ShardMsg::Restore(bytes, reply) => {
+                        let _ = reply.send(engine.restore(&bytes));
+                    }
+                    ShardMsg::Shutdown => return,
+                }
             }
-            ShardMsg::Snapshot(reply) => {
-                let _ = reply.send(engine.snapshot());
-            }
-            ShardMsg::Restore(bytes, reply) => {
-                let _ = reply.send(engine.restore(&bytes));
-            }
-            ShardMsg::Shutdown => break,
         }
+    }
+    // Inbox disconnected with a batch still on the pool (front-end dropped
+    // without a shutdown message): settle so the engine drops consistent.
+    if let Some(prev) = inflight.take() {
+        engine.join_batch();
+        settle_batch(
+            &mut engine,
+            prev,
+            &mut accounting,
+            &mut scratch,
+            &mut accounting_ns,
+            &recycle,
+            &completed,
+        );
     }
 }
 
@@ -174,18 +322,27 @@ impl Service {
         assert!(config.batch_ops > 0, "batch_ops must be positive");
         assert!(config.max_inflight_batches > 0, "admission window must be positive");
         let plan = ShardPlan::new(config.engine.topology, config.shards);
+        let pool_threads = if config.pool_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            config.pool_threads
+        };
+        let pool = Arc::new(WorkerPool::new(pool_threads));
         let mut workers = Vec::with_capacity(config.shards as usize);
         for shard in 0..config.shards {
-            let engine = Engine::new(plan.shard_config(&config.engine, shard))?;
+            let mut engine = Engine::new(plan.shard_config(&config.engine, shard))?;
+            let (lane_lo, lane_count) =
+                pool_slice(pool_threads, config.shards as usize, shard as usize);
+            engine.attach_pool(PoolHandle::slice(Arc::clone(&pool), lane_lo, lane_count));
             let (sender, inbox) = mpsc::channel();
+            let (recycle_tx, recycle_rx) = mpsc::channel();
             let completed = Arc::new(AtomicU64::new(0));
             let worker_completed = Arc::clone(&completed);
             let tenant_count = tenants.len();
-            let flash_threads = config.threads_per_shard.max(1);
             let handle = std::thread::Builder::new()
                 .name(format!("rd-serve-shard-{shard}"))
                 .spawn(move || {
-                    shard_worker_loop(engine, inbox, worker_completed, tenant_count, flash_threads)
+                    shard_worker_loop(engine, inbox, worker_completed, recycle_tx, tenant_count)
                 })
                 .expect("spawn shard worker");
             workers.push(ShardWorker {
@@ -194,6 +351,7 @@ impl Service {
                 pending: Vec::with_capacity(config.batch_ops),
                 submitted: 0,
                 completed,
+                recycle: recycle_rx,
             });
         }
         Ok(Self { plan, config, tenants, workers, ops_submitted: 0 })
@@ -251,7 +409,11 @@ impl Service {
         while worker.submitted - worker.completed.load(Ordering::Acquire) >= window {
             std::thread::yield_now();
         }
-        let batch = std::mem::replace(&mut worker.pending, Vec::with_capacity(batch_ops));
+        // Reuse a settled batch's buffer when one has cycled back; the
+        // steady-state hot loop then ships without allocating.
+        let mut replacement = worker.recycle.try_recv().unwrap_or_default();
+        replacement.reserve(batch_ops);
+        let batch = std::mem::replace(&mut worker.pending, replacement);
         worker.sender.send(ShardMsg::Batch(batch)).expect("shard worker alive");
         worker.submitted += 1;
     }
@@ -296,6 +458,7 @@ impl Service {
         let mut shard_stats = Vec::with_capacity(self.workers.len());
         let mut tenant_accounting: Vec<TenantAccounting> =
             vec![TenantAccounting::default(); self.tenants.len()];
+        let mut stage = ServiceStageNs::default();
         for worker in &self.workers {
             let (reply, receiver) = mpsc::channel();
             worker.sender.send(ShardMsg::Report(reply)).expect("shard worker alive");
@@ -303,6 +466,10 @@ impl Service {
             for (merged, part) in tenant_accounting.iter_mut().zip(&shard.tenants) {
                 merged.merge(part);
             }
+            stage.pool_wait_ns += shard.stage.pool_wait_ns;
+            stage.flash_ns += shard.stage.flash_ns;
+            stage.timing_ns += shard.stage.timing_ns;
+            stage.accounting_ns += shard.accounting_ns;
             shard_stats.push(shard.stats);
         }
         let mut latency_sample: Vec<f64> = Vec::new();
@@ -316,7 +483,7 @@ impl Service {
             .zip(&tenant_accounting)
             .map(|(config, acct)| acct.summary(&config.name))
             .collect();
-        ServiceReport { stats, tenants, wall_s, shards: self.workers.len() as u32 }
+        ServiceReport { stats, tenants, wall_s, shards: self.workers.len() as u32, stage }
     }
 
     /// Serializes every shard engine into one versioned, CRC-guarded
@@ -395,6 +562,17 @@ impl Service {
     }
 }
 
+/// Contiguous slice of pool lanes serving `shard`: a proportional split of
+/// `workers` lanes over `shards`, widened to at least one lane. Slices
+/// overlap when the pool is smaller than the shard count — the lanes are
+/// shared queues, and determinism is unaffected by which OS thread runs a
+/// die's job.
+fn pool_slice(workers: usize, shards: usize, shard: usize) -> (usize, usize) {
+    let lo = ((shard * workers) / shards).min(workers - 1);
+    let hi = (((shard + 1) * workers) / shards).max(lo + 1);
+    (lo, hi - lo)
+}
+
 impl Drop for Service {
     fn drop(&mut self) {
         for worker in &mut self.workers {
@@ -407,6 +585,22 @@ impl Drop for Service {
             }
         }
     }
+}
+
+/// Wall-clock stage totals summed across every shard worker since service
+/// start: where serving time went. Diagnostic only — the counters are not
+/// part of any determinism comparison and reset with the service.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceStageNs {
+    /// Shard-coordinator time blocked waiting on pool results, ns.
+    pub pool_wait_ns: u64,
+    /// Worker-side flash execution, ns (summed over dies and shards, so it
+    /// exceeds wall time whenever workers overlap).
+    pub flash_ns: u64,
+    /// Serial discrete-event timing phase, ns.
+    pub timing_ns: u64,
+    /// Completion drain + tenant-accounting fold, ns.
+    pub accounting_ns: u64,
 }
 
 /// Array-wide view of a service run: merged engine stats plus per-tenant
@@ -422,6 +616,8 @@ pub struct ServiceReport {
     pub wall_s: f64,
     /// Shards that served the run.
     pub shards: u32,
+    /// Per-stage wall-clock totals across shard workers (diagnostic).
+    pub stage: ServiceStageNs,
 }
 
 impl ServiceReport {

@@ -1,0 +1,139 @@
+//! Steady-state allocation gate for the serving hot loop.
+//!
+//! The service recycles its shard submission buffers, the engine
+//! double-buffers its per-die work arenas, and the aggregate-tier flash
+//! read path allocates nothing per op — so once the pipeline is warm, a
+//! read-only serving window must cost a small constant number of
+//! allocations per *batch* (boxed pool jobs, channel nodes) that does not
+//! scale with the number of ops in the batch. A per-op allocation anywhere
+//! on the submit → shard → flash → accounting path would show up here as
+//! per-batch counts growing linearly with `batch_ops`.
+//!
+//! The warmup window uses the real mixed tenant traffic (so the measured
+//! reads hit genuinely written flash); the measured window is read-only
+//! because host writes legitimately allocate downstream of the service
+//! (FTL garbage collection and block turnover are per-write-proportional
+//! by design and out of the serving layer's hands).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rd_engine::{EngineConfig, ReadFidelity, ReqKind, Timing, Topology};
+use rd_ftl::SsdConfig;
+use rd_serve::{ServeConfig, Service, ServiceOp, TenantConfig};
+
+/// Counts every heap allocation (and reallocation) process-wide, from all
+/// threads — shard workers and pool workers included.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn tenants() -> Vec<TenantConfig> {
+    vec![
+        TenantConfig::new("web", "umass-web", 6000.0),
+        TenantConfig::new("mail", "postmark", 2500.0),
+    ]
+}
+
+fn config(batch_ops: usize) -> ServeConfig {
+    ServeConfig {
+        engine: EngineConfig {
+            topology: Topology { channels: 2, dies_per_channel: 2 },
+            die: SsdConfig::engine_scale(7).with_fidelity(ReadFidelity::BlockAggregate),
+            timing: Timing::default(),
+            queue_depth: 8,
+            capture_read_data: false,
+            die_index_offset: 0,
+        },
+        shards: 2,
+        batch_ops,
+        max_inflight_batches: 4,
+        pool_threads: 1,
+    }
+}
+
+/// Warms the service on mixed tenant traffic, then serves a read-only
+/// window and returns the allocation count per shipped batch inside it.
+fn allocs_per_batch(batch_ops: usize) -> f64 {
+    let warmup_batches = 32u64;
+    let measured_batches = 64u64;
+    let warm_ops = warmup_batches * batch_ops as u64;
+    let steady_ops = measured_batches * batch_ops as u64;
+
+    let config = config(batch_ops);
+    let pages = config.engine.logical_pages();
+    let mut service = Service::start(config, tenants()).expect("start service");
+    // Pre-generate all arrivals so the measured window is pure serving.
+    let warm: Vec<ServiceOp> = service.traffic(7).take(warm_ops as usize).collect();
+    let t0 = warm.last().expect("warmup traffic").time_s;
+    let steady: Vec<ServiceOp> = (0..steady_ops)
+        .map(|i| ServiceOp {
+            time_s: t0 + (i + 1) as f64 * 1e-6,
+            tenant: (i % 2) as u16,
+            kind: ReqKind::Read,
+            lpa: (i * 11) % pages,
+        })
+        .collect();
+
+    for op in &warm {
+        service.submit(*op);
+    }
+    service.flush();
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for op in &steady {
+        service.submit(*op);
+    }
+    service.flush();
+    let delta = ALLOCS.load(Ordering::Relaxed) - before;
+
+    let report = service.report(1.0);
+    assert_eq!(report.stats.ops, warm_ops + steady_ops, "service dropped ops");
+    delta as f64 / measured_batches as f64
+}
+
+#[test]
+fn steady_state_allocations_per_batch_are_bounded_and_batch_size_independent() {
+    let small = allocs_per_batch(64);
+    let large = allocs_per_batch(512);
+    eprintln!("steady-state allocs/batch: {small:.1} at batch_ops=64, {large:.1} at 512");
+
+    // Constant-per-batch budget: one boxed flash job and one result-channel
+    // node per die, the batch and recycle channel nodes, plus slack for
+    // amortized growth (latency vectors double occasionally). Far below
+    // one allocation per op.
+    for (batch_ops, per_batch) in [(64u64, small), (512u64, large)] {
+        assert!(
+            per_batch < 100.0,
+            "steady-state allocations per batch at batch_ops={batch_ops}: {per_batch:.1} \
+             (expected a small constant)"
+        );
+    }
+
+    // Batch-size independence: growing the batch 8× must not grow the
+    // per-batch allocation count. A single per-op allocation on the hot
+    // path would add ≥448 here.
+    assert!(
+        large < small + 64.0,
+        "per-batch allocations scale with batch_ops: {small:.1} at 64 vs {large:.1} at 512"
+    );
+}

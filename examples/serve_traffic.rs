@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         shards: 2,
         batch_ops: 512,
         max_inflight_batches: 4,
-        threads_per_shard: 1,
+        pool_threads: 0,
     };
 
     let mut service = Service::start(config, tenants.clone())?;
